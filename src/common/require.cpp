@@ -1,0 +1,11 @@
+#include "common/require.hpp"
+
+namespace t1map::detail {
+
+void contract_failure(const char* file, int line, const char* cond,
+                      const std::string& msg) {
+  throw ContractError(std::string(file) + ":" + std::to_string(line) +
+                      ": requirement `" + cond + "` failed: " + msg);
+}
+
+}  // namespace t1map::detail

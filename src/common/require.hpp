@@ -1,0 +1,45 @@
+/// \file require.hpp
+/// \brief Contract-checking helpers used across the library.
+///
+/// `T1MAP_REQUIRE` expresses *API contracts*: violations indicate misuse of a
+/// public interface (bad argument, inconsistent network, infeasible
+/// constraint system) and throw `t1map::ContractError` so callers and tests
+/// can observe them.  `T1MAP_ASSERT` expresses *internal invariants* and
+/// compiles to `assert`.
+
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include <cassert>
+
+namespace t1map {
+
+/// Exception thrown when a `T1MAP_REQUIRE` contract is violated.
+class ContractError : public std::logic_error {
+ public:
+  explicit ContractError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+/// Throws ContractError with a source-location prefix.  Out of line so the
+/// throw does not bloat every call site.
+[[noreturn]] void contract_failure(const char* file, int line,
+                                   const char* cond, const std::string& msg);
+
+}  // namespace detail
+
+}  // namespace t1map
+
+/// Checks an API contract; throws t1map::ContractError when violated.
+#define T1MAP_REQUIRE(cond, msg)                                         \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::t1map::detail::contract_failure(__FILE__, __LINE__, #cond, msg); \
+    }                                                                    \
+  } while (false)
+
+/// Checks an internal invariant; active in debug builds only.
+#define T1MAP_ASSERT(cond) assert(cond)

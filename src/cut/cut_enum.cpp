@@ -1,0 +1,40 @@
+#include "cut/cut_enum.hpp"
+
+namespace t1map {
+
+bool merge_leaves(const std::vector<std::uint32_t>& a,
+                  const std::vector<std::uint32_t>& b, int k,
+                  std::vector<std::uint32_t>& out) {
+  out.clear();
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() || j < b.size()) {
+    std::uint32_t next;
+    if (j == b.size() || (i < a.size() && a[i] < b[j])) {
+      next = a[i++];
+    } else if (i == a.size() || b[j] < a[i]) {
+      next = b[j++];
+    } else {
+      next = a[i];
+      ++i;
+      ++j;
+    }
+    out.push_back(next);
+    if (static_cast<int>(out.size()) > k) return false;
+  }
+  return true;
+}
+
+bool leaves_subset(const std::vector<std::uint32_t>& a,
+                   const std::vector<std::uint32_t>& b) {
+  if (a.size() > b.size()) return false;
+  std::size_t j = 0;
+  for (const std::uint32_t x : a) {
+    while (j < b.size() && b[j] < x) ++j;
+    if (j == b.size() || b[j] != x) return false;
+    ++j;
+  }
+  return true;
+}
+
+}  // namespace t1map

@@ -1,0 +1,146 @@
+/// \file cut_enum.hpp
+/// \brief k-feasible cut enumeration with per-cut truth tables.
+///
+/// Implements the classic bottom-up cut enumeration of Cong et al. (paper
+/// ref. [8]): the cut set of a node is the cross-merge of its fanins' cut
+/// sets, keeping cuts with at most `k` leaves, plus the trivial cut {node}.
+/// Each cut carries its function as a truth table over the (sorted) leaves,
+/// which is what both the SFQ technology mapper and the T1 detector match
+/// against.
+///
+/// The enumerator is generic over a *network view* providing:
+///   - `size()`                       — number of nodes, ids topological;
+///   - `cut_is_leaf(id)`              — nodes at which cuts stop (PIs,
+///                                      constants, unsupported nodes);
+///   - `cut_fanins(id, out, n)`       — up to 3 fanin node ids;
+///   - `cut_local_tt(id)`             — node function over those fanins.
+/// `Aig` and `sfq::Netlist` both satisfy this interface.
+
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/require.hpp"
+#include "tt/truth_table.hpp"
+
+namespace t1map {
+
+/// One cut: sorted leaf node ids plus the root's function over them.
+struct Cut {
+  std::vector<std::uint32_t> leaves;
+  Tt tt;
+
+  bool is_trivial(std::uint32_t root) const {
+    return leaves.size() == 1 && leaves[0] == root;
+  }
+};
+
+/// Tuning knobs for enumeration.
+struct CutParams {
+  /// Maximum number of leaves per cut.
+  int k = 3;
+  /// Maximum cuts retained per node (smallest-leaf-count first).  The
+  /// trivial cut does not count against this limit.
+  int max_cuts = 16;
+};
+
+/// Merges two sorted leaf vectors; returns false if the union exceeds `k`.
+bool merge_leaves(const std::vector<std::uint32_t>& a,
+                  const std::vector<std::uint32_t>& b, int k,
+                  std::vector<std::uint32_t>& out);
+
+/// True if `a`'s leaves are a subset of `b`'s (then `a` dominates `b`).
+bool leaves_subset(const std::vector<std::uint32_t>& a,
+                   const std::vector<std::uint32_t>& b);
+
+/// All cuts of every node.  Result is indexed by node id; the trivial cut is
+/// always the first entry of each non-empty set.
+template <class Ntk>
+std::vector<std::vector<Cut>> enumerate_cuts(const Ntk& ntk,
+                                             const CutParams& params = {}) {
+  T1MAP_REQUIRE(params.k >= 1 && params.k <= 4,
+                "cut size must be between 1 and 4");
+  const std::size_t n = ntk.size();
+  std::vector<std::vector<Cut>> cuts(n);
+
+  std::vector<std::uint32_t> merged;
+  for (std::uint32_t node = 0; node < n; ++node) {
+    auto& node_cuts = cuts[node];
+
+    // Trivial cut first: the node itself as a single leaf.
+    node_cuts.push_back(Cut{{node}, Tt::var(1, 0)});
+    if (ntk.cut_is_leaf(node)) continue;
+
+    std::uint32_t fanin[3];
+    int nf = 0;
+    ntk.cut_fanins(node, fanin, nf);
+    T1MAP_ASSERT(nf >= 1 && nf <= 3);
+    const Tt local = ntk.cut_local_tt(node);
+    T1MAP_ASSERT(local.num_vars() == nf);
+
+    std::vector<Cut> fresh;
+    // Cross-merge the fanins' cut sets.
+    const auto& c0 = cuts[fanin[0]];
+    const auto& c1 = nf >= 2 ? cuts[fanin[1]] : cuts[fanin[0]];
+    const auto& c2 = nf >= 3 ? cuts[fanin[2]] : cuts[fanin[0]];
+    for (const Cut& a : c0) {
+      for (const Cut& b : c1) {
+        if (nf >= 2 && !merge_leaves(a.leaves, b.leaves, params.k, merged)) {
+          continue;
+        }
+        std::vector<std::uint32_t> ab =
+            nf >= 2 ? merged : a.leaves;  // 1-fanin nodes reuse a's leaves
+        for (const Cut& c : c2) {
+          std::vector<std::uint32_t> all;
+          if (nf >= 3) {
+            if (!merge_leaves(ab, c.leaves, params.k, merged)) continue;
+            all = merged;
+          } else {
+            all = ab;
+          }
+          // Compose the node function over the union leaf set.
+          Tt fanin_tts_storage[3];
+          const int width = static_cast<int>(all.size());
+          fanin_tts_storage[0] = expand_to_leaves(a.tt, a.leaves, all);
+          if (nf >= 2) {
+            fanin_tts_storage[1] = expand_to_leaves(b.tt, b.leaves, all);
+          }
+          if (nf >= 3) {
+            fanin_tts_storage[2] = expand_to_leaves(c.tt, c.leaves, all);
+          }
+          (void)width;
+          Tt tt = compose(local, std::span<const Tt>(fanin_tts_storage, nf));
+          fresh.push_back(Cut{std::move(all), tt});
+          if (nf < 3) break;  // inner loop is a placeholder for nf < 3
+        }
+        if (nf < 2) break;
+      }
+    }
+
+    // Deduplicate by leaf set and apply dominance pruning: a cut whose
+    // leaves are a subset of another's makes the larger one redundant.
+    std::sort(fresh.begin(), fresh.end(), [](const Cut& x, const Cut& y) {
+      return x.leaves.size() != y.leaves.size()
+                 ? x.leaves.size() < y.leaves.size()
+                 : x.leaves < y.leaves;
+    });
+    std::vector<Cut> kept;
+    for (auto& cut : fresh) {
+      bool dominated = false;
+      for (const Cut& prev : kept) {
+        if (prev.leaves == cut.leaves || leaves_subset(prev.leaves, cut.leaves)) {
+          dominated = true;
+          break;
+        }
+      }
+      if (!dominated) kept.push_back(std::move(cut));
+      if (static_cast<int>(kept.size()) >= params.max_cuts) break;
+    }
+    for (auto& cut : kept) node_cuts.push_back(std::move(cut));
+  }
+  return cuts;
+}
+
+}  // namespace t1map

@@ -1,0 +1,145 @@
+#include "gen/arith.hpp"
+
+#include <algorithm>
+
+#include "common/require.hpp"
+
+namespace t1map::gen {
+
+FullAdderOut full_adder(Aig& aig, Lit a, Lit b, Lit c) {
+  return FullAdderOut{aig.create_xor3(a, b, c), aig.create_maj3(a, b, c)};
+}
+
+FullAdderOut half_adder(Aig& aig, Lit a, Lit b) {
+  return FullAdderOut{aig.create_xor(a, b), aig.create_and(a, b)};
+}
+
+std::vector<Lit> ripple_add(Aig& aig, const std::vector<Lit>& a,
+                            const std::vector<Lit>& b, Lit cin) {
+  T1MAP_REQUIRE(a.size() == b.size(), "ripple_add: operand width mismatch");
+  std::vector<Lit> out;
+  out.reserve(a.size() + 1);
+  Lit carry = cin;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const FullAdderOut fa = full_adder(aig, a[i], b[i], carry);
+    out.push_back(fa.sum);
+    carry = fa.carry;
+  }
+  out.push_back(carry);
+  return out;
+}
+
+std::vector<Lit> compress_columns(Aig& aig,
+                                  std::vector<std::vector<Lit>> columns) {
+  // 3:2 / 2:2 reduction until every column has at most 2 bits.
+  for (bool again = true; again;) {
+    again = false;
+    for (std::size_t w = 0; w < columns.size(); ++w) {
+      while (columns[w].size() >= 3) {
+        const Lit a = columns[w][columns[w].size() - 1];
+        const Lit b = columns[w][columns[w].size() - 2];
+        const Lit c = columns[w][columns[w].size() - 3];
+        columns[w].resize(columns[w].size() - 3);
+        const FullAdderOut fa = full_adder(aig, a, b, c);
+        columns[w].insert(columns[w].begin(), fa.sum);
+        if (w + 1 >= columns.size()) columns.emplace_back();
+        columns[w + 1].push_back(fa.carry);
+        again = true;
+      }
+    }
+  }
+  // At most two bits per column: ripple-add the two rows.
+  std::vector<Lit> row0, row1;
+  for (auto& col : columns) {
+    row0.push_back(col.size() >= 1 ? col[0] : Aig::kConst0);
+    row1.push_back(col.size() >= 2 ? col[1] : Aig::kConst0);
+  }
+  auto sum = ripple_add(aig, row0, row1);
+  return sum;
+}
+
+Aig ripple_adder(int width) {
+  T1MAP_REQUIRE(width >= 2, "adder width must be at least 2");
+  Aig aig;
+  std::vector<Lit> a, b;
+  for (int i = 0; i < width; ++i) a.push_back(aig.create_pi("a" + std::to_string(i)));
+  for (int i = 0; i < width; ++i) b.push_back(aig.create_pi("b" + std::to_string(i)));
+
+  std::vector<Lit> sum;
+  const FullAdderOut ha = half_adder(aig, a[0], b[0]);
+  sum.push_back(ha.sum);
+  Lit carry = ha.carry;
+  for (int i = 1; i < width; ++i) {
+    const FullAdderOut fa = full_adder(aig, a[i], b[i], carry);
+    sum.push_back(fa.sum);
+    carry = fa.carry;
+  }
+  sum.push_back(carry);
+
+  for (int i = 0; i <= width; ++i) {
+    aig.create_po(sum[i], "s" + std::to_string(i));
+  }
+  return aig;
+}
+
+Aig array_multiplier(int width) {
+  T1MAP_REQUIRE(width >= 2, "multiplier width must be at least 2");
+  Aig aig;
+  std::vector<Lit> a, b;
+  for (int i = 0; i < width; ++i) a.push_back(aig.create_pi("a" + std::to_string(i)));
+  for (int i = 0; i < width; ++i) b.push_back(aig.create_pi("b" + std::to_string(i)));
+
+  // Carry-save array (the c6288 structure): each row's full adders pass
+  // their carries *diagonally* to the next row instead of rippling within
+  // the row, so the array depth grows linearly in width.  Row r consumes
+  // exactly the carries row r-1 produced (columns r..r+w-1 vs r..r+w);
+  // a final ripple adder resolves the upper-half sum/carry pair.  Constant
+  // folding erases the degenerate first-row adders automatically.
+  std::vector<Lit> acc(2 * width, Aig::kConst0);
+  std::vector<Lit> pending(2 * width, Aig::kConst0);  // carries for next row
+  for (int row = 0; row < width; ++row) {
+    std::vector<Lit> next(2 * width, Aig::kConst0);
+    for (int i = 0; i < width; ++i) {
+      const int col = row + i;
+      const Lit pp = aig.create_and(a[i], b[row]);
+      const FullAdderOut fa = full_adder(aig, acc[col], pp, pending[col]);
+      acc[col] = fa.sum;
+      next[col + 1] = fa.carry;
+    }
+    pending = std::move(next);
+  }
+  // Resolve the upper half: acc[w..2w-1] plus the surviving carries.
+  std::vector<Lit> hi_sum(acc.begin() + width, acc.end());
+  std::vector<Lit> hi_car(pending.begin() + width, pending.end());
+  const std::vector<Lit> hi = ripple_add(aig, hi_sum, hi_car);
+  for (int i = width; i < 2 * width; ++i) acc[i] = hi[i - width];
+
+  for (int i = 0; i < 2 * width; ++i) {
+    aig.create_po(acc[i], "p" + std::to_string(i));
+  }
+  return aig;
+}
+
+Aig squarer(int width) {
+  T1MAP_REQUIRE(width >= 2, "squarer width must be at least 2");
+  Aig aig;
+  std::vector<Lit> a;
+  for (int i = 0; i < width; ++i) a.push_back(aig.create_pi("a" + std::to_string(i)));
+
+  // x² = Σ_i a_i·2^{2i} + Σ_{i<j} a_i·a_j·2^{i+j+1}.
+  std::vector<std::vector<Lit>> columns(2 * width);
+  for (int i = 0; i < width; ++i) {
+    columns[2 * i].push_back(a[i]);
+    for (int j = i + 1; j < width; ++j) {
+      columns[i + j + 1].push_back(aig.create_and(a[i], a[j]));
+    }
+  }
+  const std::vector<Lit> sum = compress_columns(aig, std::move(columns));
+  for (int i = 0; i < 2 * width; ++i) {
+    aig.create_po(i < static_cast<int>(sum.size()) ? sum[i] : Aig::kConst0,
+                  "q" + std::to_string(i));
+  }
+  return aig;
+}
+
+}  // namespace t1map::gen

@@ -1,0 +1,115 @@
+#include "gen/cordic.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/require.hpp"
+
+namespace t1map::gen {
+
+namespace {
+
+/// Two's-complement conditional add/sub: a + (b ^ sub) + sub, carry-out
+/// dropped (fixed width wraparound).
+std::vector<Lit> add_sub(Aig& aig, const std::vector<Lit>& a,
+                         const std::vector<Lit>& b, Lit sub) {
+  T1MAP_REQUIRE(a.size() == b.size(), "add_sub width mismatch");
+  std::vector<Lit> out(a.size());
+  Lit carry = sub;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const Lit bi = aig.create_xor(b[i], sub);
+    out[i] = aig.create_xor3(a[i], bi, carry);
+    carry = aig.create_maj3(a[i], bi, carry);
+  }
+  return out;
+}
+
+/// Arithmetic right shift by a constant amount (pure wiring).
+std::vector<Lit> asr(const std::vector<Lit>& x, int amount) {
+  const Lit sign = x.back();
+  std::vector<Lit> out(x.size(), sign);
+  for (std::size_t i = 0; i + amount < x.size(); ++i) {
+    out[i] = x[i + amount];
+  }
+  return out;
+}
+
+/// Little-endian constant of `width` bits.
+std::vector<Lit> constant(std::uint64_t value, int width) {
+  std::vector<Lit> out(width);
+  for (int i = 0; i < width; ++i) {
+    out[i] = ((value >> i) & 1u) ? Aig::kConst1 : Aig::kConst0;
+  }
+  return out;
+}
+
+}  // namespace
+
+Aig cordic_sin(int width, int iterations) {
+  T1MAP_REQUIRE(width >= 4 && width <= 28, "cordic width out of range");
+  T1MAP_REQUIRE(iterations >= 1 && iterations <= width + 2,
+                "cordic iteration count out of range");
+  Aig aig;
+
+  const int w = width + 2;  // two guard bits, two's complement
+  const double scale = static_cast<double>(1ull << width);
+
+  // Input angle: z = PI/2 * (input / 2^width), fixed point with `width`
+  // fraction bits inside a w-bit signed register.
+  std::vector<Lit> z(w, Aig::kConst0);
+  for (int i = 0; i < width; ++i) {
+    z[i] = aig.create_pi("z" + std::to_string(i));
+  }
+  // θ = z·(π/2): multiply by the constant π/2 ≈ 1.5708 — realized as
+  // z + z/2 + z/16 + z/128 + ... (enough terms for `width` bits).
+  {
+    const double half_pi = 3.14159265358979323846 / 2.0;
+    double rem = half_pi - 1.0;
+    std::vector<Lit> theta = z;
+    for (int shift = 1; shift <= width; ++shift) {
+      const double term = std::pow(0.5, shift);
+      if (rem >= term) {
+        rem -= term;
+        theta = add_sub(aig, theta, asr(z, shift), Aig::kConst0);
+      }
+    }
+    z = std::move(theta);
+  }
+
+  // x = 1/K (CORDIC gain compensation), y = 0.
+  double gain = 1.0;
+  for (int i = 0; i < iterations; ++i) {
+    gain *= std::sqrt(1.0 + std::pow(2.0, -2.0 * i));
+  }
+  const auto to_fixed = [&](double v) {
+    return static_cast<std::uint64_t>(std::llround(v * scale)) &
+           ((1ull << w) - 1);
+  };
+  std::vector<Lit> x = constant(to_fixed(1.0 / gain), w);
+  std::vector<Lit> y = constant(0, w);
+
+  for (int i = 0; i < iterations; ++i) {
+    const Lit z_neg = z.back();  // sign bit: rotate opposite when negative
+    // d = +1 when z >= 0:  x -= d*(y>>i); y += d*(x>>i); z -= d*atan(2^-i);
+    // i.e. subtract in the x/z updates when z >= 0, add otherwise.
+    const Lit not_zneg = lit_not(z_neg);
+    const std::vector<Lit> xn = add_sub(aig, x, asr(y, i), not_zneg);
+    const std::vector<Lit> yn = add_sub(aig, y, asr(x, i), z_neg);
+    const std::vector<Lit> zn =
+        add_sub(aig, z, constant(to_fixed(std::atan(std::pow(2.0, -i))), w),
+                not_zneg);
+    x = xn;
+    y = yn;
+    z = zn;
+  }
+
+  // sin(θ) = y, clamped at 1.0 (guard bit set ⇒ saturate).  Output the
+  // `width` fraction bits, saturating on the rare y >= 1 overflow.
+  const Lit overflow = y[width];  // integer bit set
+  for (int i = 0; i < width; ++i) {
+    aig.create_po(aig.create_or(y[i], overflow), "sin" + std::to_string(i));
+  }
+  return aig;
+}
+
+}  // namespace t1map::gen

@@ -1,0 +1,24 @@
+/// \file cordic.hpp
+/// \brief CORDIC sine generator — the EPFL `sin` benchmark equivalent.
+///
+/// Circular-rotation-mode CORDIC: per iteration a conditional add/subtract
+/// (driven by the residual angle's sign) of arithmetically shifted operands.
+/// Each conditional adder is a ripple chain of full adders, reproducing the
+/// deep, FA-rich structure that makes the EPFL `sin` circuit both hard to
+/// path-balance and receptive to T1 substitution.
+///
+/// Fixed-point conventions:
+///   * input  z: `width` unsigned fraction bits, angle θ = z·(π/2);
+///   * output sin(θ): `width` unsigned fraction bits;
+///   * internal: two's complement with 2 guard bits.
+
+#pragma once
+
+#include "aig/aig.hpp"
+
+namespace t1map::gen {
+
+/// `width`-bit sine via `iterations` CORDIC steps.
+Aig cordic_sin(int width, int iterations);
+
+}  // namespace t1map::gen

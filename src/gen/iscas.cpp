@@ -1,0 +1,45 @@
+#include "gen/iscas.hpp"
+
+#include <vector>
+
+#include "common/require.hpp"
+#include "gen/arith.hpp"
+
+namespace t1map::gen {
+
+Aig adder_comparator(int width) {
+  T1MAP_REQUIRE(width >= 2, "adder_comparator width must be >= 2");
+  Aig aig;
+  std::vector<Lit> a, b;
+  for (int i = 0; i < width; ++i) a.push_back(aig.create_pi("a" + std::to_string(i)));
+  for (int i = 0; i < width; ++i) b.push_back(aig.create_pi("b" + std::to_string(i)));
+
+  // 34-bit style ripple sum.
+  const std::vector<Lit> sum = ripple_add(aig, a, b);
+
+  // Magnitude comparator a >= b via the borrow chain of a - b:
+  // borrow' = MAJ(!a, b, borrow); a >= b iff the final borrow is 0.
+  Lit borrow = Aig::kConst0;
+  for (int i = 0; i < width; ++i) {
+    borrow = aig.create_maj3(lit_not(a[i]), b[i], borrow);
+  }
+  const Lit a_ge_b = lit_not(borrow);
+
+  // Parity trees over both operands (the "input parity checking" part).
+  Lit pa = Aig::kConst0;
+  Lit pb = Aig::kConst0;
+  for (int i = 0; i < width; ++i) {
+    pa = aig.create_xor(pa, a[i]);
+    pb = aig.create_xor(pb, b[i]);
+  }
+
+  for (int i = 0; i <= width; ++i) {
+    aig.create_po(sum[i], "s" + std::to_string(i));
+  }
+  aig.create_po(a_ge_b, "age");
+  aig.create_po(pa, "pa");
+  aig.create_po(pb, "pb");
+  return aig;
+}
+
+}  // namespace t1map::gen

@@ -1,0 +1,21 @@
+/// \file iscas.hpp
+/// \brief ISCAS-85 style circuit generators (c7552 functional equivalent;
+/// c6288 is `array_multiplier(16)` in arith.hpp).
+///
+/// Per Hansen et al. (paper ref. [13]), c7552 is a 34-bit adder plus a
+/// magnitude comparator with input parity checking.  This generator
+/// reproduces that functional mix: a ripple adder (a modest run of T1
+/// opportunities), a borrow-chain comparator and XOR parity trees — the
+/// low-T1-density profile that makes c7552 a *negative* result in Table I.
+
+#pragma once
+
+#include "aig/aig.hpp"
+
+namespace t1map::gen {
+
+/// width-bit adder + comparator + parity (c7552-style).  POs: sum bits,
+/// carry-out, a>=b, parity(a), parity(b).
+Aig adder_comparator(int width);
+
+}  // namespace t1map::gen

@@ -1,0 +1,119 @@
+#include "gen/log2.hpp"
+
+#include <vector>
+
+#include "common/require.hpp"
+#include "gen/arith.hpp"
+
+namespace t1map::gen {
+
+namespace {
+
+/// 2:1 mux per bit: sel ? hi : lo.
+std::vector<Lit> mux_word(Aig& aig, Lit sel, const std::vector<Lit>& hi,
+                          const std::vector<Lit>& lo) {
+  T1MAP_REQUIRE(hi.size() == lo.size(), "mux width mismatch");
+  std::vector<Lit> out(hi.size());
+  for (std::size_t i = 0; i < hi.size(); ++i) {
+    out[i] = aig.create_ite(sel, hi[i], lo[i]);
+  }
+  return out;
+}
+
+/// Unsigned square of `m` via folded partial products + compressor tree;
+/// returns exactly 2*|m| bits.
+std::vector<Lit> square_word(Aig& aig, const std::vector<Lit>& m) {
+  const int w = static_cast<int>(m.size());
+  std::vector<std::vector<Lit>> columns(2 * w);
+  for (int i = 0; i < w; ++i) {
+    columns[2 * i].push_back(m[i]);
+    for (int j = i + 1; j < w; ++j) {
+      columns[i + j + 1].push_back(aig.create_and(m[i], m[j]));
+    }
+  }
+  std::vector<Lit> sum = compress_columns(aig, std::move(columns));
+  sum.resize(2 * w, Aig::kConst0);
+  return sum;
+}
+
+}  // namespace
+
+Aig log2_circuit(int width, int mantissa_bits, int fraction_bits) {
+  T1MAP_REQUIRE(width >= 4 && (width & (width - 1)) == 0,
+                "log2 width must be a power of two >= 4");
+  T1MAP_REQUIRE(mantissa_bits >= 4 && mantissa_bits <= 24,
+                "mantissa width out of range");
+  T1MAP_REQUIRE(fraction_bits >= 1 && fraction_bits <= 24,
+                "fraction width out of range");
+  Aig aig;
+
+  std::vector<Lit> x(width);
+  for (int i = 0; i < width; ++i) {
+    x[i] = aig.create_pi("x" + std::to_string(i));
+  }
+
+  // 1. Priority encoding of the leading one: e = floor(log2(x)).
+  //    seen_i = OR of bits above position i (MSB-first scan).
+  int log_w = 0;
+  while ((1 << log_w) < width) ++log_w;
+  std::vector<Lit> exp(log_w, Aig::kConst0);
+  {
+    Lit seen = Aig::kConst0;
+    // is_top[i] = x_i & !seen(higher bits)
+    for (int i = width - 1; i >= 0; --i) {
+      const Lit is_top = aig.create_and(x[i], lit_not(seen));
+      for (int b = 0; b < log_w; ++b) {
+        if ((i >> b) & 1) exp[b] = aig.create_or(exp[b], is_top);
+      }
+      seen = aig.create_or(seen, x[i]);
+    }
+  }
+
+  // 2. Barrel shift left so the leading one lands at the top:
+  //    shift amount = (width-1) - e, applied in log stages.
+  std::vector<Lit> norm = x;
+  for (int b = log_w - 1; b >= 0; --b) {
+    // Shift by 2^b when bit b of (width-1-e) is set; since width-1 is all
+    // ones, (width-1-e) = ~e over log_w bits.
+    const Lit do_shift = lit_not(exp[b]);
+    std::vector<Lit> shifted(width, Aig::kConst0);
+    for (int i = width - 1; i >= (1 << b); --i) {
+      shifted[i] = norm[i - (1 << b)];
+    }
+    norm = mux_word(aig, do_shift, shifted, norm);
+  }
+
+  // 3. Mantissa m ∈ [1,2): top `mantissa_bits` of the normalized word
+  //    (MSB = integer one).  Fixed point 1.(mantissa_bits-1).
+  std::vector<Lit> m(mantissa_bits);
+  for (int i = 0; i < mantissa_bits; ++i) {
+    const int src = width - mantissa_bits + i;
+    m[i] = src >= 0 ? norm[src] : Aig::kConst0;
+  }
+
+  // 4. Digit recurrence: one squarer per fraction bit.
+  std::vector<Lit> fraction(fraction_bits);
+  for (int k = 0; k < fraction_bits; ++k) {
+    const std::vector<Lit> sq = square_word(aig, m);  // 2.(2mb-2) format
+    const Lit ge2 = sq[2 * mantissa_bits - 1];        // m² >= 2
+    fraction[fraction_bits - 1 - k] = ge2;
+    // m' = ge2 ? m²/2 : m², renormalized to 1.(mb-1).
+    std::vector<Lit> hi(mantissa_bits), lo(mantissa_bits);
+    for (int i = 0; i < mantissa_bits; ++i) {
+      hi[i] = sq[mantissa_bits + i];      // top half: m²/2 in [1,2)
+      lo[i] = sq[mantissa_bits - 1 + i];  // m² in [1,2)
+    }
+    m = mux_word(aig, ge2, hi, lo);
+  }
+
+  // 5. Outputs: fraction bits then integer bits, all little-endian.
+  for (int i = 0; i < fraction_bits; ++i) {
+    aig.create_po(fraction[i], "f" + std::to_string(i));
+  }
+  for (int b = 0; b < log_w; ++b) {
+    aig.create_po(exp[b], "e" + std::to_string(b));
+  }
+  return aig;
+}
+
+}  // namespace t1map::gen

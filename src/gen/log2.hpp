@@ -1,0 +1,28 @@
+/// \file log2.hpp
+/// \brief Binary logarithm generator — the EPFL `log2` benchmark equivalent.
+///
+/// Computes log2 of an unsigned input as `integer part + fraction` fixed
+/// point using the classic repeated-squaring digit recurrence:
+///
+///   1. priority-encode the leading one (integer part), barrel-shift the
+///      input into a normalized mantissa m ∈ [1, 2);
+///   2. per fraction bit: square m; if m² >= 2 the bit is 1 and m ← m²/2,
+///      else m ← m².
+///
+/// Every fraction bit embeds a full partial-product squarer reduced by a
+/// compressor tree — which is exactly why the EPFL `log2` is one of the
+/// largest, most FA-rich arithmetic benchmarks.
+
+#pragma once
+
+#include "aig/aig.hpp"
+
+namespace t1map::gen {
+
+/// log2 of a `width`-bit input (width must be a power of two for the
+/// barrel shifter), producing ceil(log2(width)) integer bits and
+/// `fraction_bits` fraction bits, all zero for input 0.
+/// The mantissa is truncated to `mantissa_bits` before the digit recurrence.
+Aig log2_circuit(int width, int mantissa_bits, int fraction_bits);
+
+}  // namespace t1map::gen

@@ -1,0 +1,57 @@
+#include "gen/registry.hpp"
+
+#include "common/require.hpp"
+#include "gen/arith.hpp"
+#include "gen/cordic.hpp"
+#include "gen/iscas.hpp"
+#include "gen/log2.hpp"
+#include "gen/voter.hpp"
+
+namespace t1map::gen {
+
+const std::vector<std::string>& table1_names() {
+  static const std::vector<std::string> names = {
+      "adder", "c7552", "c6288", "sin", "voter", "square", "multiplier",
+      "log2"};
+  return names;
+}
+
+Aig make_benchmark(const std::string& name) {
+  // Sizes are chosen to reproduce each benchmark's structure at laptop-
+  // friendly scale; the `adder` matches the paper's 128 bits exactly
+  // (it is the headline result).  See DESIGN.md §4.
+  if (name == "adder") return ripple_adder(128);
+  if (name == "c7552") return adder_comparator(34);
+  if (name == "c6288") return array_multiplier(16);
+  if (name == "sin") return cordic_sin(16, 14);
+  if (name == "voter") return majority_voter(1001);
+  if (name == "square") return squarer(32);
+  if (name == "multiplier") return array_multiplier(32);
+  if (name == "log2") return log2_circuit(32, 16, 10);
+  T1MAP_REQUIRE(false, "unknown benchmark: " + name);
+  return Aig{};
+}
+
+const std::vector<PaperRow>& paper_table1() {
+  // Table I of the paper, verbatim.
+  static const std::vector<PaperRow> rows = {
+      {"adder", 127, 127, 32768, 7963, 5958, 238419, 64784, 48844, 128, 32, 33},
+      {"c7552", 17, 9, 2489, 713, 765, 32038, 19606, 19907, 16, 4, 5},
+      {"c6288", 142, 142, 2625, 1431, 1349, 47198, 38840, 35386, 29, 8, 10},
+      {"sin", 81, 77, 13416, 4631, 4714, 164938, 103443, 102806, 88, 22, 25},
+      {"voter", 252, 252, 10651, 5779, 5584, 222101, 187997, 182972, 38, 10, 11},
+      {"square", 861, 806, 44675, 16645, 14304, 525311, 329101, 301287, 126, 32, 32},
+      {"multiplier", 824, 769, 58717, 14641, 13745, 682792, 374260, 356984, 136, 33, 36},
+      {"log2", 644, 593, 86985, 33790, 33946, 978178, 605813, 598292, 160, 40, 47},
+  };
+  return rows;
+}
+
+const PaperRow* paper_row(const std::string& name) {
+  for (const PaperRow& row : paper_table1()) {
+    if (row.name == name) return &row;
+  }
+  return nullptr;
+}
+
+}  // namespace t1map::gen

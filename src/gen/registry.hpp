@@ -1,0 +1,40 @@
+/// \file registry.hpp
+/// \brief Named benchmark registry mirroring Table I of the paper.
+///
+/// Maps the eight benchmark names to generator instantiations at the sizes
+/// documented in DESIGN.md §4, and carries the *published* Table I numbers
+/// so benches and EXPERIMENTS.md can print paper-vs-measured side by side.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "aig/aig.hpp"
+
+namespace t1map::gen {
+
+/// The eight Table I benchmark names, in the paper's row order.
+const std::vector<std::string>& table1_names();
+
+/// Builds the named benchmark at its default (Table-I-like) size.
+/// Throws ContractError for unknown names.
+Aig make_benchmark(const std::string& name);
+
+/// One row of the published Table I (for comparison printing).
+struct PaperRow {
+  std::string name;
+  int t1_found;
+  int t1_used;
+  long dff_1p, dff_4p, dff_t1;
+  long area_1p, area_4p, area_t1;
+  int depth_1p, depth_4p, depth_t1;
+};
+
+/// The published Table I, verbatim.
+const std::vector<PaperRow>& paper_table1();
+
+/// Published row for a benchmark name (nullptr if unknown).
+const PaperRow* paper_row(const std::string& name);
+
+}  // namespace t1map::gen

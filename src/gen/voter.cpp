@@ -1,0 +1,39 @@
+#include "gen/voter.hpp"
+
+#include <vector>
+
+#include "common/require.hpp"
+#include "gen/arith.hpp"
+
+namespace t1map::gen {
+
+Aig majority_voter(int inputs) {
+  T1MAP_REQUIRE(inputs >= 3 && (inputs % 2) == 1,
+                "voter needs an odd input count >= 3");
+  Aig aig;
+
+  std::vector<std::vector<Lit>> columns(1);
+  for (int i = 0; i < inputs; ++i) {
+    columns[0].push_back(aig.create_pi("v" + std::to_string(i)));
+  }
+
+  // Population count through the compressor tree.
+  const std::vector<Lit> count = compress_columns(aig, std::move(columns));
+
+  // count >= threshold, threshold = (inputs+1)/2.
+  const unsigned threshold = static_cast<unsigned>(inputs + 1) / 2;
+  // ge = 1 iff count >= threshold: MSB-first compare against the constant.
+  Lit ge = Aig::kConst1;  // equal-so-far path ends in "greater or equal"
+  for (std::size_t i = 0; i < count.size(); ++i) {
+    const bool kbit = (threshold >> i) & 1u;
+    // Walking LSB→MSB: ge' = x_i > k_i  |  (x_i == k_i) & ge.
+    const Lit xi = count[i];
+    const Lit gt = kbit ? Aig::kConst0 : xi;
+    const Lit eq = kbit ? xi : lit_not(xi);
+    ge = aig.create_or(gt, aig.create_and(eq, ge));
+  }
+  aig.create_po(ge, "maj");
+  return aig;
+}
+
+}  // namespace t1map::gen

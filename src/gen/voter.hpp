@@ -1,0 +1,19 @@
+/// \file voter.hpp
+/// \brief Majority voter generator — the EPFL `voter` benchmark equivalent.
+///
+/// Majority of `inputs` (odd) signals: a population count built from a 3:2
+/// full-adder compressor tree followed by a magnitude comparison against
+/// (inputs+1)/2.  The compressor tree is one of the densest sources of
+/// XOR3/MAJ3 pairs over shared leaves — prime T1 territory, matching the
+/// strong voter improvement in Table I.
+
+#pragma once
+
+#include "aig/aig.hpp"
+
+namespace t1map::gen {
+
+/// 1 when at least (inputs+1)/2 of the inputs are 1.  `inputs` must be odd.
+Aig majority_voter(int inputs);
+
+}  // namespace t1map::gen

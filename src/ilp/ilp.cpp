@@ -1,0 +1,111 @@
+#include "ilp/ilp.hpp"
+
+#include <cmath>
+#include <memory>
+#include <queue>
+
+#include "common/require.hpp"
+
+namespace t1map::ilp {
+
+namespace {
+
+struct BbNode {
+  std::vector<double> lo, hi;
+  double bound;  // LP objective of the parent (lower bound on this subtree)
+};
+
+struct BoundCompare {
+  bool operator()(const std::shared_ptr<BbNode>& a,
+                  const std::shared_ptr<BbNode>& b) const {
+    return a->bound > b->bound;  // min-heap on bound: best-first
+  }
+};
+
+/// Index of the most fractional integer variable, or -1 if all integral.
+int pick_branch_var(const Model& model, const std::vector<double>& x,
+                    double eps) {
+  const auto& integral = model.integrality();
+  int best = -1;
+  double best_dist = eps;
+  for (int i = 0; i < model.num_vars(); ++i) {
+    if (!integral[i]) continue;
+    const double frac = x[i] - std::floor(x[i]);
+    const double dist = std::min(frac, 1.0 - frac);
+    if (dist > best_dist) {
+      best_dist = dist;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+IlpSolution solve_ilp(const Model& model, const IlpParams& params) {
+  IlpSolution best;
+  best.status = Status::kInfeasible;
+  double incumbent = std::numeric_limits<double>::infinity();
+
+  std::priority_queue<std::shared_ptr<BbNode>,
+                      std::vector<std::shared_ptr<BbNode>>, BoundCompare>
+      open;
+  auto root = std::make_shared<BbNode>();
+  root->lo = model.lower_bounds();
+  root->hi = model.upper_bounds();
+  root->bound = -std::numeric_limits<double>::infinity();
+  open.push(root);
+
+  while (!open.empty()) {
+    if (best.nodes_explored >= params.max_nodes) {
+      best.hit_node_limit = true;
+      break;
+    }
+    const auto node = open.top();
+    open.pop();
+    if (node->bound >= incumbent - 1e-9) continue;  // pruned by incumbent
+    ++best.nodes_explored;
+
+    const LpSolution lp = solve_lp(model, &node->lo, &node->hi);
+    if (lp.status == Status::kInfeasible) continue;
+    if (lp.status == Status::kUnbounded) {
+      // An unbounded relaxation at the root means an unbounded ILP for our
+      // (always bounded) models; report and stop.
+      best.status = Status::kUnbounded;
+      return best;
+    }
+    if (lp.status == Status::kIterLimit) continue;
+    if (lp.objective >= incumbent - 1e-9) continue;
+
+    const int branch_var = pick_branch_var(model, lp.x, params.int_eps);
+    if (branch_var < 0) {
+      // Integral: new incumbent.  Round to kill the epsilon noise.
+      std::vector<double> x = lp.x;
+      for (int i = 0; i < model.num_vars(); ++i) {
+        if (model.integrality()[i]) x[i] = std::round(x[i]);
+      }
+      const double obj = model.objective_value(x);
+      if (obj < incumbent) {
+        incumbent = obj;
+        best.status = Status::kOptimal;
+        best.x = std::move(x);
+        best.objective = obj;
+      }
+      continue;
+    }
+
+    const double v = lp.x[branch_var];
+    auto down = std::make_shared<BbNode>(*node);
+    down->hi[branch_var] = std::floor(v);
+    down->bound = lp.objective;
+    auto up = std::make_shared<BbNode>(*node);
+    up->lo[branch_var] = std::ceil(v);
+    up->bound = lp.objective;
+    open.push(std::move(down));
+    open.push(std::move(up));
+  }
+
+  return best;
+}
+
+}  // namespace t1map::ilp

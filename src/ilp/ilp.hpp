@@ -1,0 +1,36 @@
+/// \file ilp.hpp
+/// \brief Branch-and-bound integer programming on top of the simplex LP.
+///
+/// Together with simplex.hpp this substitutes for the Google OR-Tools solver
+/// the paper uses for phase assignment (§II-B).  Branching is best-first on
+/// the LP bound with most-fractional variable selection; boxes are tightened
+/// per node so the underlying model is shared, not copied.
+
+#pragma once
+
+#include <cstdint>
+
+#include "ilp/simplex.hpp"
+
+namespace t1map::ilp {
+
+struct IlpParams {
+  /// Maximum branch-and-bound nodes before giving up.
+  long max_nodes = 200000;
+  /// Integrality tolerance.
+  double int_eps = 1e-6;
+};
+
+struct IlpSolution {
+  Status status = Status::kInfeasible;
+  std::vector<double> x;
+  double objective = 0.0;
+  long nodes_explored = 0;
+  /// True if search stopped early; the incumbent (if any) is still valid.
+  bool hit_node_limit = false;
+};
+
+/// Minimizes `model` subject to the integrality flags of its variables.
+IlpSolution solve_ilp(const Model& model, const IlpParams& params = {});
+
+}  // namespace t1map::ilp

@@ -1,0 +1,123 @@
+#include "io/blif.hpp"
+
+#include <vector>
+
+#include "common/require.hpp"
+
+namespace t1map::io {
+
+namespace {
+
+std::string aig_sig(std::uint32_t node) { return "n" + std::to_string(node); }
+
+/// Emits `.names <ins> <out>` rows for an arbitrary truth table.
+void emit_tt(std::ostream& os, const Tt& tt,
+             const std::vector<std::string>& ins, const std::string& out) {
+  os << ".names";
+  for (const auto& in : ins) os << ' ' << in;
+  os << ' ' << out << '\n';
+  for (std::uint64_t row = 0; row < tt.num_bits(); ++row) {
+    if (!tt.bit(row)) continue;
+    for (std::size_t i = 0; i < ins.size(); ++i) {
+      os << (((row >> i) & 1u) ? '1' : '0');
+    }
+    os << (ins.empty() ? "" : " ") << "1\n";
+  }
+}
+
+}  // namespace
+
+void write_blif(std::ostream& os, const Aig& aig,
+                const std::string& model_name) {
+  os << ".model " << model_name << '\n';
+  os << ".inputs";
+  for (std::uint32_t i = 0; i < aig.num_pis(); ++i) {
+    os << ' ' << aig.pi_name(i);
+  }
+  os << "\n.outputs";
+  for (std::uint32_t i = 0; i < aig.num_pos(); ++i) {
+    os << ' ' << aig.po_name(i);
+  }
+  os << '\n';
+  os << ".names " << aig_sig(0) << "\n";  // constant 0: empty cover
+
+  for (std::uint32_t i = 0; i < aig.num_pis(); ++i) {
+    // Alias the PI name onto its node signal.
+    os << ".names " << aig.pi_name(i) << ' ' << aig_sig(aig.pis()[i])
+       << "\n1 1\n";
+  }
+  for (std::uint32_t n = 0; n < aig.num_nodes(); ++n) {
+    if (!aig.is_and(n)) continue;
+    const Lit f0 = aig.fanin0(n);
+    const Lit f1 = aig.fanin1(n);
+    os << ".names " << aig_sig(lit_node(f0)) << ' ' << aig_sig(lit_node(f1))
+       << ' ' << aig_sig(n) << '\n'
+       << (lit_is_complemented(f0) ? '0' : '1')
+       << (lit_is_complemented(f1) ? '0' : '1') << " 1\n";
+  }
+  for (std::uint32_t i = 0; i < aig.num_pos(); ++i) {
+    const Lit po = aig.po(i);
+    os << ".names " << aig_sig(lit_node(po)) << ' ' << aig.po_name(i) << '\n'
+       << (lit_is_complemented(po) ? "0 1\n" : "1 1\n");
+  }
+  os << ".end\n";
+}
+
+void write_blif(std::ostream& os, const sfq::Netlist& ntk,
+                const std::string& model_name) {
+  using sfq::CellKind;
+  os << ".model " << model_name << '\n';
+  os << ".inputs";
+  for (std::uint32_t i = 0; i < ntk.num_pis(); ++i) {
+    os << ' ' << ntk.pi_name(i);
+  }
+  os << "\n.outputs";
+  for (const auto& po : ntk.pos()) os << ' ' << po.name;
+  os << '\n';
+
+  const auto sig = [&](std::uint32_t id) {
+    if (ntk.is_pi(id)) {
+      for (std::uint32_t i = 0; i < ntk.num_pis(); ++i) {
+        if (ntk.pis()[i] == id) return ntk.pi_name(i);
+      }
+    }
+    return "n" + std::to_string(id);
+  };
+
+  for (std::uint32_t id = 0; id < ntk.num_nodes(); ++id) {
+    const CellKind k = ntk.kind(id);
+    switch (k) {
+      case CellKind::kPi:
+      case CellKind::kT1:  // cores are implicit; taps carry the functions
+        break;
+      case CellKind::kConst0:
+        os << ".names " << sig(id) << '\n';
+        break;
+      case CellKind::kConst1:
+        os << ".names " << sig(id) << "\n1\n";
+        break;
+      case CellKind::kDff:
+        os << ".latch " << sig(ntk.fanins(id)[0]) << ' ' << sig(id)
+           << " re clk 0\n";
+        break;
+      default: {
+        std::vector<std::string> ins;
+        Tt tt = sfq::cell_tt(k);
+        if (ntk.is_tap(id)) {
+          const auto core = ntk.fanins(ntk.fanins(id)[0]);
+          for (const std::uint32_t c : core) ins.push_back(sig(c));
+        } else {
+          for (const std::uint32_t f : ntk.fanins(id)) ins.push_back(sig(f));
+        }
+        emit_tt(os, tt, ins, sig(id));
+        break;
+      }
+    }
+  }
+  for (const auto& po : ntk.pos()) {
+    os << ".names " << sig(po.driver) << ' ' << po.name << "\n1 1\n";
+  }
+  os << ".end\n";
+}
+
+}  // namespace t1map::io

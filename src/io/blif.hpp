@@ -1,0 +1,24 @@
+/// \file blif.hpp
+/// \brief BLIF writers for AIGs and SFQ netlists (debug / interchange).
+///
+/// T1 taps are flattened to `.names` over the core's data inputs (BLIF has
+/// no multi-output gate primitive); DFFs are written as `.latch`.  The
+/// output round-trips through standard tools for combinational checks.
+
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "aig/aig.hpp"
+#include "sfq/netlist.hpp"
+
+namespace t1map::io {
+
+void write_blif(std::ostream& os, const Aig& aig,
+                const std::string& model_name = "aig");
+
+void write_blif(std::ostream& os, const sfq::Netlist& ntk,
+                const std::string& model_name = "sfq");
+
+}  // namespace t1map::io

@@ -1,0 +1,34 @@
+#include "io/dot.hpp"
+
+namespace t1map::io {
+
+void write_dot(std::ostream& os, const sfq::Netlist& ntk,
+               const retime::StageAssignment* stages) {
+  os << "digraph sfq {\n  rankdir=LR;\n  node [shape=box];\n";
+  for (std::uint32_t id = 0; id < ntk.num_nodes(); ++id) {
+    os << "  n" << id << " [label=\"" << sfq::cell_name(ntk.kind(id)) << ' '
+       << id;
+    if (stages != nullptr &&
+        id < static_cast<std::uint32_t>(stages->sigma.size())) {
+      os << "\\nσ=" << stages->sigma[id];
+    }
+    os << "\"";
+    if (ntk.is_t1(id)) os << ", style=filled, fillcolor=gold";
+    if (ntk.kind(id) == sfq::CellKind::kDff) {
+      os << ", style=filled, fillcolor=lightblue";
+    }
+    os << "];\n";
+  }
+  for (std::uint32_t id = 0; id < ntk.num_nodes(); ++id) {
+    for (const std::uint32_t f : ntk.fanins(id)) {
+      os << "  n" << f << " -> n" << id << ";\n";
+    }
+  }
+  for (std::size_t i = 0; i < ntk.pos().size(); ++i) {
+    os << "  po" << i << " [shape=oval, label=\"" << ntk.pos()[i].name
+       << "\"];\n  n" << ntk.pos()[i].driver << " -> po" << i << ";\n";
+  }
+  os << "}\n";
+}
+
+}  // namespace t1map::io

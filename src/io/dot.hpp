@@ -1,0 +1,19 @@
+/// \file dot.hpp
+/// \brief Graphviz DOT export of SFQ netlists, with optional stage
+/// annotations — handy for inspecting small T1 rewrites and DFF chains.
+
+#pragma once
+
+#include <ostream>
+
+#include "retime/stage_assign.hpp"
+#include "sfq/netlist.hpp"
+
+namespace t1map::io {
+
+/// Writes a DOT digraph.  When `stages` is non-null, node labels carry
+/// their σ and nodes are ranked by stage.
+void write_dot(std::ostream& os, const sfq::Netlist& ntk,
+               const retime::StageAssignment* stages = nullptr);
+
+}  // namespace t1map::io

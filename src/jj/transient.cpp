@@ -1,0 +1,234 @@
+#include "jj/transient.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace t1map::jj {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// Dense LU with partial pivoting; solves in place (A is destroyed).
+/// Returns false on a singular matrix.
+bool lu_solve(std::vector<std::vector<double>>& a, std::vector<double>& b) {
+  const int n = static_cast<int>(b.size());
+  for (int col = 0; col < n; ++col) {
+    int pivot = col;
+    for (int r = col + 1; r < n; ++r) {
+      if (std::abs(a[r][col]) > std::abs(a[pivot][col])) pivot = r;
+    }
+    if (std::abs(a[pivot][col]) < 1e-18) return false;
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    const double inv = 1.0 / a[col][col];
+    for (int r = col + 1; r < n; ++r) {
+      const double f = a[r][col] * inv;
+      if (f == 0.0) continue;
+      for (int c = col; c < n; ++c) a[r][c] -= f * a[col][c];
+      b[r] -= f * b[col];
+    }
+  }
+  for (int r = n - 1; r >= 0; --r) {
+    double sum = b[r];
+    for (int c = r + 1; c < n; ++c) sum -= a[r][c] * b[c];
+    b[r] = sum / a[r][r];
+  }
+  return true;
+}
+
+}  // namespace
+
+int TransientResult::pulses_in_window(int j, double t0, double t1) const {
+  int count = 0;
+  for (const double t : jj_pulse_times.at(j)) {
+    if (t >= t0 && t < t1) ++count;
+  }
+  return count;
+}
+
+TransientResult simulate(const Circuit& ckt, const TransientParams& params) {
+  const int num_nodes = ckt.num_nodes();   // includes ground (index 0)
+  const int nv = num_nodes - 1;            // voltage unknowns
+  const int nl = static_cast<int>(ckt.inductors().size());
+  const int dim = nv + nl;
+  const double dt = params.dt;
+
+  TransientResult result;
+  const int steps = static_cast<int>(params.t_stop / dt);
+  result.time.reserve(steps + 1);
+  result.jj_pulse_times.resize(ckt.junctions().size());
+  result.jj_negative_pulse_times.resize(ckt.junctions().size());
+
+  // State.
+  std::vector<double> v(num_nodes, 0.0);        // node voltages
+  std::vector<double> il(nl, 0.0);              // inductor currents
+  std::vector<double> phase(ckt.junctions().size(), 0.0);
+  std::vector<double> ic_hist(ckt.capacitors().size(), 0.0);  // cap currents
+  std::vector<double> jj_cap_hist(ckt.junctions().size(), 0.0);
+  std::vector<long> pulses_emitted(ckt.junctions().size(), 0);
+  std::vector<long> neg_pulses_emitted(ckt.junctions().size(), 0);
+
+  const auto record = [&](double t) {
+    result.time.push_back(t);
+    result.node_voltage.push_back(v);
+    result.jj_phase.push_back(phase);
+    result.inductor_current.push_back(il);
+  };
+  record(0.0);
+
+  // Unknown layout: x[0..nv) = node voltages 1..num_nodes-1,
+  // x[nv..nv+nl) = inductor currents.
+  const auto vidx = [&](int node) { return node - 1; };  // node >= 1
+
+  std::vector<std::vector<double>> a(dim, std::vector<double>(dim, 0.0));
+  std::vector<double> rhs(dim, 0.0);
+  std::vector<double> v_new(num_nodes, 0.0);
+  std::vector<double> il_new(nl, 0.0);
+  std::vector<double> phase_new(phase);
+
+  for (int step = 1; step <= steps; ++step) {
+    const double t = step * dt;
+    // Newton iteration on the junction nonlinearity.
+    v_new = v;  // warm start from the previous step
+    il_new = il;
+    bool converged = false;
+    for (int iter = 0; iter < params.max_newton; ++iter) {
+      for (auto& row : a) std::fill(row.begin(), row.end(), 0.0);
+      std::fill(rhs.begin(), rhs.end(), 0.0);
+
+      const auto stamp_g = [&](int n1, int n2, double g) {
+        if (n1 >= 1) a[vidx(n1)][vidx(n1)] += g;
+        if (n2 >= 1) a[vidx(n2)][vidx(n2)] += g;
+        if (n1 >= 1 && n2 >= 1) {
+          a[vidx(n1)][vidx(n2)] -= g;
+          a[vidx(n2)][vidx(n1)] -= g;
+        }
+      };
+      const auto stamp_i = [&](int node, double i_into) {
+        if (node >= 1) rhs[vidx(node)] += i_into;
+      };
+
+      // Resistors.
+      for (const auto& r : ckt.resistors()) stamp_g(r.n1, r.n2, r.g);
+
+      // Capacitors (trapezoidal companion).
+      for (std::size_t k = 0; k < ckt.capacitors().size(); ++k) {
+        const auto& c = ckt.capacitors()[k];
+        const double geq = 2.0 * c.c / dt;
+        const double vk = v[c.n1] - v[c.n2];
+        const double ieq = geq * vk + ic_hist[k];
+        stamp_g(c.n1, c.n2, geq);
+        stamp_i(c.n1, ieq);
+        stamp_i(c.n2, -ieq);
+      }
+
+      // Inductors (trapezoidal): (2L/dt)(i' - i) = v' + v.
+      for (int k = 0; k < nl; ++k) {
+        const auto& l = ckt.inductors()[k];
+        const int row = nv + k;
+        const double zeq = 2.0 * l.l / dt;
+        if (l.n1 >= 1) {
+          a[row][vidx(l.n1)] += 1.0;
+          a[vidx(l.n1)][row] += 1.0;  // branch current leaves n1
+        }
+        if (l.n2 >= 1) {
+          a[row][vidx(l.n2)] -= 1.0;
+          a[vidx(l.n2)][row] -= 1.0;
+        }
+        a[row][row] -= zeq;
+        rhs[row] = -(v[l.n1] - v[l.n2]) - zeq * il[k];
+      }
+
+      // Junctions (RCSJ Newton companion).
+      for (std::size_t k = 0; k < ckt.junctions().size(); ++k) {
+        const auto& j = ckt.junctions()[k];
+        const double vk = v[j.n1] - v[j.n2];
+        const double vstar = v_new[j.n1] - v_new[j.n2];
+        const double kphi = kPi * dt / kPhi0;
+        const double phi_star = phase[k] + kphi * (vk + vstar);
+        // Supercurrent linearization around vstar.
+        const double gj = j.p.ic * std::cos(phi_star) * kphi + 1.0 / j.p.rn;
+        const double isc = j.p.ic * std::sin(phi_star);
+        // Junction capacitance (trapezoidal).
+        const double gc = 2.0 * j.p.cap / dt;
+        const double icap_eq = gc * vk + jj_cap_hist[k];
+        const double ieq = isc - (j.p.ic * std::cos(phi_star) * kphi) * vstar;
+        stamp_g(j.n1, j.n2, gj + gc);
+        // Total companion current source into n1: -(ieq) + icap_eq ... sign:
+        // device current i(v') ≈ gj·v' + ieq + gc·v' − icap_eq flows n1→n2.
+        stamp_i(j.n1, -ieq + icap_eq);
+        stamp_i(j.n2, ieq - icap_eq);
+      }
+
+      // Independent sources.
+      for (int node = 1; node < num_nodes; ++node) {
+        stamp_i(node, ckt.source_current(node, t));
+      }
+
+      std::vector<std::vector<double>> a_copy = a;
+      std::vector<double> x = rhs;
+      if (!lu_solve(a_copy, x)) {
+        result.converged = false;
+        return result;
+      }
+
+      // Damped update: clamp per-iteration voltage moves to keep the phase
+      // argument of the sin() linearization honest during switching.
+      constexpr double kMaxStep = 1.0e-3;  // 1 mV
+      double max_dv = 0.0;
+      for (int node = 1; node < num_nodes; ++node) {
+        double dv = x[vidx(node)] - v_new[node];
+        dv = std::clamp(dv, -kMaxStep, kMaxStep);
+        max_dv = std::max(max_dv, std::abs(dv));
+        v_new[node] += dv;
+      }
+      for (int k = 0; k < nl; ++k) il_new[k] = x[nv + k];
+      if (max_dv < params.v_tol) {
+        converged = true;
+        break;
+      }
+    }
+    if (!converged) result.converged = false;
+
+    // Advance state.
+    for (std::size_t k = 0; k < ckt.capacitors().size(); ++k) {
+      const auto& c = ckt.capacitors()[k];
+      const double geq = 2.0 * c.c / dt;
+      const double vk = v[c.n1] - v[c.n2];
+      const double vk1 = v_new[c.n1] - v_new[c.n2];
+      ic_hist[k] = geq * (vk1 - vk) - ic_hist[k];
+    }
+    for (std::size_t k = 0; k < ckt.junctions().size(); ++k) {
+      const auto& j = ckt.junctions()[k];
+      const double gc = 2.0 * j.p.cap / dt;
+      const double vk = v[j.n1] - v[j.n2];
+      const double vk1 = v_new[j.n1] - v_new[j.n2];
+      jj_cap_hist[k] = gc * (vk1 - vk) - jj_cap_hist[k];
+      const double kphi = kPi * dt / kPhi0;
+      const double new_phase = phase[k] + kphi * (vk + vk1);
+      // Pulse detection with hysteresis: the n-th pulse is emitted when the
+      // phase first exceeds 2π·n + π, so ringing around a multiple of 2π
+      // cannot re-trigger and a backward slip never double-counts.
+      // Backward (negative) slips are tracked symmetrically — escape
+      // junctions "reject" pulses by slipping against their orientation.
+      while (new_phase >
+             2.0 * kPi * static_cast<double>(pulses_emitted[k]) + kPi) {
+        result.jj_pulse_times[k].push_back(t);
+        ++pulses_emitted[k];
+      }
+      while (new_phase <
+             -2.0 * kPi * static_cast<double>(neg_pulses_emitted[k]) - kPi) {
+        result.jj_negative_pulse_times[k].push_back(t);
+        ++neg_pulses_emitted[k];
+      }
+      phase[k] = new_phase;
+    }
+    v = v_new;
+    il = il_new;
+    record(t);
+  }
+  return result;
+}
+
+}  // namespace t1map::jj

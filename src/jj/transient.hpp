@@ -1,0 +1,54 @@
+/// \file transient.hpp
+/// \brief Transient analysis of superconductive circuits: modified nodal
+/// analysis with trapezoidal integration and per-step Newton iteration on
+/// the junction nonlinearity (the same method JoSIM's voltage formulation
+/// uses).
+///
+/// Unknowns: node voltages (ground eliminated) plus inductor branch
+/// currents; junction phases are state variables advanced by the
+/// trapezoidal rule  φ_{k+1} = φ_k + (π·dt/Φ₀)(V_{k+1} + V_k).
+///
+/// An SFQ pulse is detected whenever a junction's phase advances past
+/// 2π·m; `TransientResult::jj_pulse_times` lists those crossing times —
+/// which is exactly how Fig. 1b's output events are read.
+
+#pragma once
+
+#include <vector>
+
+#include "jj/circuit.hpp"
+
+namespace t1map::jj {
+
+struct TransientParams {
+  double dt = 0.1e-12;      // time step [s]
+  double t_stop = 200e-12;  // end time [s]
+  int max_newton = 100;
+  double v_tol = 1e-9;      // Newton convergence on voltages [V]
+};
+
+struct TransientResult {
+  std::vector<double> time;
+  /// node_voltage[step][node] (node 0 = ground = 0).
+  std::vector<std::vector<double>> node_voltage;
+  /// jj_phase[step][junction].
+  std::vector<std::vector<double>> jj_phase;
+  /// inductor_current[step][inductor].
+  std::vector<std::vector<double>> inductor_current;
+  /// Times at which each junction's phase crossed 2π·m upward (one SFQ
+  /// pulse each).
+  std::vector<std::vector<double>> jj_pulse_times;
+  /// Backward 2π slips (escape junctions reject pulses this way when the
+  /// readout coupling pulls current against their orientation).
+  std::vector<std::vector<double>> jj_negative_pulse_times;
+  /// True when every Newton solve converged.
+  bool converged = true;
+
+  /// Pulses of junction `j` in the half-open window [t0, t1).
+  int pulses_in_window(int j, double t0, double t1) const;
+};
+
+TransientResult simulate(const Circuit& circuit,
+                         const TransientParams& params = {});
+
+}  // namespace t1map::jj

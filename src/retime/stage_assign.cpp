@@ -1,0 +1,409 @@
+#include "retime/stage_assign.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace t1map::retime {
+
+namespace {
+
+using sfq::CellKind;
+using sfq::Netlist;
+
+constexpr int kNoStage = std::numeric_limits<int>::min();
+
+/// Stage at which a fanin node's pulse is produced; kNoStage for constants
+/// (their "pulses" are locally generated and need no balancing).
+int producer_stage(const Netlist& ntk, const std::vector<int>& sigma,
+                   std::uint32_t node) {
+  if (ntk.is_const(node)) return kNoStage;
+  return sigma[node];
+}
+
+/// Per-node consumer lists (regular cells and T1 cores; taps excluded
+/// because they share the core's physical cell).
+struct Consumers {
+  // For each node: regular consumers' node ids.
+  std::vector<std::vector<std::uint32_t>> regular;
+  // For each node: T1 cores consuming it (with input index).
+  std::vector<std::vector<std::pair<std::uint32_t, int>>> t1;
+  // Whether the node drives at least one PO.
+  std::vector<bool> drives_po;
+};
+
+Consumers build_consumers(const Netlist& ntk) {
+  Consumers c;
+  c.regular.resize(ntk.num_nodes());
+  c.t1.resize(ntk.num_nodes());
+  c.drives_po.assign(ntk.num_nodes(), false);
+  for (std::uint32_t v = 0; v < ntk.num_nodes(); ++v) {
+    const CellKind k = ntk.kind(v);
+    if (ntk.is_tap(v)) continue;  // tap-core edges are internal pins
+    if (k == CellKind::kT1) {
+      const auto f = ntk.fanins(v);
+      for (int j = 0; j < 3; ++j) {
+        if (!ntk.is_const(f[j])) c.t1[f[j]].emplace_back(v, j);
+      }
+      continue;
+    }
+    for (const std::uint32_t u : ntk.fanins(v)) {
+      if (!ntk.is_const(u)) c.regular[u].push_back(v);
+    }
+  }
+  for (const auto& po : ntk.pos()) c.drives_po[po.driver] = true;
+  return c;
+}
+
+/// DFFs of the shared chain from a driver at `su` to regular consumers.
+long driver_chain_dffs(int su, const std::vector<std::uint32_t>& consumers,
+                       bool drives_po, int sigma_po,
+                       const std::vector<int>& sigma, int n) {
+  int max_sv = drives_po ? sigma_po : kNoStage;
+  for (const std::uint32_t v : consumers) {
+    max_sv = std::max(max_sv, sigma[v]);
+  }
+  if (max_sv == kNoStage) return 0;
+  return std::max(0, ceil_div(max_sv - su, n) - 1);
+}
+
+}  // namespace
+
+int t1_min_stage(std::array<int, 3> s) {
+  std::sort(s.begin(), s.end());
+  // Constants participate with "stage 0" for feasibility purposes: their
+  // pulse still needs a distinct arrival slot.
+  for (int& v : s) {
+    if (v == kNoStage) v = 0;
+  }
+  return std::max({s[0] + 3, s[1] + 2, s[2] + 1});
+}
+
+T1Releases solve_t1_releases(const std::array<int, 3>& producer_stage,
+                             int sigma_t1, int n) {
+  T1MAP_REQUIRE(n >= 3, "T1 cells require at least 3 clock phases");
+  const int window_lo = sigma_t1 - n;
+  const int window_hi = sigma_t1 - 1;
+
+  const auto edge_cost = [&](int j, int r) -> long {
+    const int s = producer_stage[j];
+    if (r == s) return 0;               // released by the producer itself
+    T1MAP_ASSERT(r > s);
+    return ceil_div(r - s, n);          // dedicated chain ending at r
+  };
+
+  T1Releases best{{0, 0, 0}, std::numeric_limits<long>::max()};
+  for (int r0 = window_lo; r0 <= window_hi; ++r0) {
+    if (r0 < producer_stage[0]) continue;
+    for (int r1 = window_lo; r1 <= window_hi; ++r1) {
+      if (r1 < producer_stage[1] || r1 == r0) continue;
+      for (int r2 = window_lo; r2 <= window_hi; ++r2) {
+        if (r2 < producer_stage[2] || r2 == r0 || r2 == r1) continue;
+        const long cost = edge_cost(0, r0) + edge_cost(1, r1) + edge_cost(2, r2);
+        if (cost < best.dffs) {
+          best = T1Releases{{r0, r1, r2}, cost};
+        }
+      }
+    }
+  }
+  T1MAP_REQUIRE(best.dffs != std::numeric_limits<long>::max(),
+                "T1 release assignment infeasible: eq. (3) violated");
+  return best;
+}
+
+namespace {
+
+/// Local legality of node v's fanin-side constraints under `sigma`.
+bool fanin_side_ok(const Netlist& ntk, const std::vector<int>& sigma,
+                   std::uint32_t v, int n) {
+  const CellKind k = ntk.kind(v);
+  if (k == CellKind::kPi || ntk.is_const(v)) return true;
+  if (ntk.is_tap(v)) return sigma[v] == sigma[ntk.fanins(v)[0]];
+  if (k == CellKind::kT1) {
+    if (n < 3) return false;
+    std::array<int, 3> s{};
+    const auto f = ntk.fanins(v);
+    for (int j = 0; j < 3; ++j) {
+      const int ps = producer_stage(ntk, sigma, f[j]);
+      s[j] = (ps == kNoStage) ? 0 : ps;
+    }
+    return sigma[v] >= t1_min_stage(s);
+  }
+  for (const std::uint32_t u : ntk.fanins(v)) {
+    const int ps = producer_stage(ntk, sigma, u);
+    if (ps != kNoStage && sigma[v] <= ps) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool assignment_is_legal(const Netlist& ntk, const StageAssignment& sa) {
+  if (static_cast<std::uint32_t>(sa.sigma.size()) != ntk.num_nodes()) {
+    return false;
+  }
+  for (std::uint32_t v = 0; v < ntk.num_nodes(); ++v) {
+    if (ntk.is_pi(v) || ntk.is_const(v)) {
+      if (sa.sigma[v] != 0) return false;
+      continue;
+    }
+    if (!fanin_side_ok(ntk, sa.sigma, v, sa.num_phases)) return false;
+  }
+  for (const auto& po : ntk.pos()) {
+    const int ps = producer_stage(ntk, sa.sigma, po.driver);
+    if (ps != kNoStage && sa.sigma_po <= ps) return false;
+  }
+  return true;
+}
+
+DffCount count_dffs(const Netlist& ntk, const StageAssignment& sa) {
+  const Consumers cons = build_consumers(ntk);
+  const int n = sa.num_phases;
+  DffCount count;
+
+  for (std::uint32_t u = 0; u < ntk.num_nodes(); ++u) {
+    if (ntk.is_const(u) || ntk.is_t1(u)) continue;
+    count.regular += driver_chain_dffs(sa.sigma[u], cons.regular[u],
+                                       cons.drives_po[u], sa.sigma_po,
+                                       sa.sigma, n);
+  }
+  for (std::uint32_t t = 0; t < ntk.num_nodes(); ++t) {
+    if (!ntk.is_t1(t)) continue;
+    std::array<int, 3> s{};
+    const auto f = ntk.fanins(t);
+    for (int j = 0; j < 3; ++j) {
+      const int ps = producer_stage(ntk, sa.sigma, f[j]);
+      s[j] = (ps == kNoStage) ? 0 : ps;
+    }
+    count.t1 += solve_t1_releases(s, sa.sigma[t], n).dffs;
+  }
+  return count;
+}
+
+namespace {
+
+/// ASAP pass: earliest legal stage per node in topological (id) order.
+void asap(const Netlist& ntk, int n, std::vector<int>& sigma) {
+  sigma.assign(ntk.num_nodes(), 0);
+  for (std::uint32_t v = 0; v < ntk.num_nodes(); ++v) {
+    const CellKind k = ntk.kind(v);
+    if (k == CellKind::kPi || ntk.is_const(v)) {
+      sigma[v] = 0;
+      continue;
+    }
+    if (ntk.is_tap(v)) {
+      sigma[v] = sigma[ntk.fanins(v)[0]];
+      continue;
+    }
+    if (k == CellKind::kT1) {
+      std::array<int, 3> s{};
+      const auto f = ntk.fanins(v);
+      for (int j = 0; j < 3; ++j) {
+        const int ps = producer_stage(ntk, sigma, f[j]);
+        s[j] = (ps == kNoStage) ? 0 : ps;
+      }
+      sigma[v] = t1_min_stage(s);
+      continue;
+    }
+    int lo = 1;
+    for (const std::uint32_t u : ntk.fanins(v)) {
+      const int ps = producer_stage(ntk, sigma, u);
+      if (ps != kNoStage) lo = std::max(lo, ps + 1);
+    }
+    sigma[v] = lo;
+  }
+}
+
+/// Cost of the drivers whose chains depend on node v's stage, plus the T1
+/// release costs v participates in.  Used to score candidate moves.
+long local_cost(const Netlist& ntk, const Consumers& cons,
+                const std::vector<int>& sigma, int sigma_po, int n,
+                std::uint32_t v, const std::vector<std::uint32_t>& taps_of_v) {
+  long cost = 0;
+  const auto driver_cost = [&](std::uint32_t u) {
+    if (ntk.is_const(u) || ntk.is_t1(u)) return 0l;
+    return driver_chain_dffs(sigma[u], cons.regular[u], cons.drives_po[u],
+                             sigma_po, sigma, n);
+  };
+  const auto t1_cost = [&](std::uint32_t t) {
+    std::array<int, 3> s{};
+    const auto f = ntk.fanins(t);
+    for (int j = 0; j < 3; ++j) {
+      const int ps = producer_stage(ntk, sigma, f[j]);
+      s[j] = (ps == kNoStage) ? 0 : ps;
+    }
+    return solve_t1_releases(s, sigma[t], n).dffs;
+  };
+
+  if (ntk.is_t1(v)) {
+    cost += t1_cost(v);
+    for (const std::uint32_t tap : taps_of_v) {
+      cost += driver_cost(tap);
+      for (const auto& [t1, idx] : cons.t1[tap]) {
+        (void)idx;
+        cost += t1_cost(t1);
+      }
+    }
+  } else {
+    cost += driver_cost(v);
+    for (const auto& [t1, idx] : cons.t1[v]) {
+      (void)idx;
+      cost += t1_cost(t1);
+    }
+  }
+  // Fanins' chains see v as a consumer.
+  for (const std::uint32_t u : ntk.fanins(v)) {
+    if (!ntk.is_const(u) && !ntk.is_t1(u)) cost += driver_cost(u);
+  }
+  return cost;
+}
+
+/// True if setting node v (and its taps) to stage s keeps the assignment
+/// legal for v and all its direct consumers.
+bool move_is_legal(const Netlist& ntk, const Consumers& cons,
+                   std::vector<int>& sigma, int sigma_po, int n,
+                   std::uint32_t v, const std::vector<std::uint32_t>& taps,
+                   int s) {
+  const int old = sigma[v];
+  sigma[v] = s;
+  for (const std::uint32_t tap : taps) sigma[tap] = s;
+
+  bool ok = fanin_side_ok(ntk, sigma, v, n);
+  const auto check_consumers = [&](std::uint32_t producer) {
+    for (const std::uint32_t w : cons.regular[producer]) {
+      if (!fanin_side_ok(ntk, sigma, w, n)) return false;
+    }
+    for (const auto& [t1, idx] : cons.t1[producer]) {
+      (void)idx;
+      if (!fanin_side_ok(ntk, sigma, t1, n)) return false;
+    }
+    if (cons.drives_po[producer] && sigma_po <= sigma[producer]) return false;
+    return true;
+  };
+  if (ok) {
+    if (ntk.is_t1(v)) {
+      for (const std::uint32_t tap : taps) {
+        if (!check_consumers(tap)) {
+          ok = false;
+          break;
+        }
+      }
+    } else {
+      ok = check_consumers(v);
+    }
+  }
+  if (!ok) {
+    sigma[v] = old;
+    for (const std::uint32_t tap : taps) sigma[tap] = old;
+  }
+  return ok;
+}
+
+}  // namespace
+
+StageAssignment assign_stages(const Netlist& ntk, const StageParams& params) {
+  T1MAP_REQUIRE(params.num_phases >= 1, "need at least one phase");
+  if (ntk.num_t1() > 0) {
+    T1MAP_REQUIRE(params.num_phases >= 3,
+                  "T1 cells require at least 3 clock phases (distinct input "
+                  "arrival slots)");
+  }
+
+  StageAssignment sa;
+  sa.num_phases = params.num_phases;
+  asap(ntk, params.num_phases, sa.sigma);
+
+  sa.sigma_po = 1;
+  for (const auto& po : ntk.pos()) {
+    const int ps = producer_stage(ntk, sa.sigma, po.driver);
+    if (ps != kNoStage) sa.sigma_po = std::max(sa.sigma_po, ps + 1);
+  }
+
+  if (!params.optimize) return sa;
+
+  const Consumers cons = build_consumers(ntk);
+  const int n = params.num_phases;
+
+  // Tap lists per T1 core (cores move together with their taps).
+  std::vector<std::vector<std::uint32_t>> taps(ntk.num_nodes());
+  for (std::uint32_t v = 0; v < ntk.num_nodes(); ++v) {
+    if (ntk.is_tap(v)) taps[ntk.fanins(v)[0]].push_back(v);
+  }
+  static const std::vector<std::uint32_t> kNoTaps;
+
+  for (int sweep = 0; sweep < params.max_sweeps; ++sweep) {
+    bool changed = false;
+    for (std::uint32_t v = 0; v < ntk.num_nodes(); ++v) {
+      if (ntk.is_pi(v) || ntk.is_const(v) || ntk.is_tap(v)) continue;
+      const auto& my_taps = ntk.is_t1(v) ? taps[v] : kNoTaps;
+
+      // Candidate stages: breakpoints induced by fanins (σu+1, σu+1+n) and
+      // consumers (σw−1, σw−1−n), clipped to legality by move_is_legal.
+      std::vector<int> candidates;
+      candidates.push_back(sa.sigma[v]);
+      for (const std::uint32_t u : ntk.fanins(v)) {
+        const int ps = producer_stage(ntk, sa.sigma, u);
+        if (ps == kNoStage) continue;
+        candidates.push_back(ps + 1);
+        candidates.push_back(ps + 1 + n);
+        candidates.push_back(ps + 3);  // T1 eq. (3) slack
+      }
+      const auto add_consumer_candidates = [&](std::uint32_t producer) {
+        for (const std::uint32_t w : cons.regular[producer]) {
+          candidates.push_back(sa.sigma[w] - 1);
+          candidates.push_back(sa.sigma[w] - 1 - n);
+        }
+        for (const auto& [t1, idx] : cons.t1[producer]) {
+          (void)idx;
+          candidates.push_back(sa.sigma[t1] - 1);
+          candidates.push_back(sa.sigma[t1] - 3);
+          candidates.push_back(sa.sigma[t1] - n);
+        }
+        if (cons.drives_po[producer]) {
+          candidates.push_back(sa.sigma_po - 1);
+          candidates.push_back(sa.sigma_po - 1 - n);
+        }
+      };
+      if (ntk.is_t1(v)) {
+        for (const std::uint32_t tap : my_taps) add_consumer_candidates(tap);
+      } else {
+        add_consumer_candidates(v);
+      }
+      std::sort(candidates.begin(), candidates.end());
+      candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                       candidates.end());
+
+      const int original = sa.sigma[v];
+      long best_cost = local_cost(ntk, cons, sa.sigma, sa.sigma_po, n, v,
+                                  my_taps);
+      int best_stage = original;
+      for (const int s : candidates) {
+        if (s == original || s < 1) continue;
+        if (!move_is_legal(ntk, cons, sa.sigma, sa.sigma_po, n, v, my_taps,
+                           s)) {
+          continue;
+        }
+        const long cost =
+            local_cost(ntk, cons, sa.sigma, sa.sigma_po, n, v, my_taps);
+        if (cost < best_cost) {
+          best_cost = cost;
+          best_stage = s;
+        }
+        // Restore; the final best is applied after the scan.
+        sa.sigma[v] = original;
+        for (const std::uint32_t tap : my_taps) sa.sigma[tap] = original;
+      }
+      if (best_stage != original) {
+        const bool ok = move_is_legal(ntk, cons, sa.sigma, sa.sigma_po, n, v,
+                                      my_taps, best_stage);
+        T1MAP_ASSERT(ok);
+        (void)ok;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  T1MAP_ASSERT(assignment_is_legal(ntk, sa));
+  return sa;
+}
+
+}  // namespace t1map::retime

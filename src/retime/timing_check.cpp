@@ -1,0 +1,112 @@
+#include "retime/timing_check.hpp"
+
+#include <array>
+
+namespace t1map::retime {
+
+namespace {
+
+using sfq::CellKind;
+using sfq::Netlist;
+
+void violation(TimingReport& report, std::string message) {
+  report.ok = false;
+  if (report.violations.size() < 64) {
+    report.violations.push_back(std::move(message));
+  }
+}
+
+}  // namespace
+
+TimingReport check_timing(const Netlist& ntk, const StageAssignment& sa) {
+  TimingReport report;
+  const int n = sa.num_phases;
+  if (static_cast<std::uint32_t>(sa.sigma.size()) != ntk.num_nodes()) {
+    violation(report, "stage vector size mismatch");
+    return report;
+  }
+
+  const auto sigma_of = [&](std::uint32_t u) { return sa.sigma[u]; };
+
+  for (std::uint32_t v = 0; v < ntk.num_nodes(); ++v) {
+    const CellKind k = ntk.kind(v);
+    const int sv = sa.sigma[v];
+
+    if (k == CellKind::kPi || ntk.is_const(v)) {
+      if (sv != 0) {
+        violation(report, "R1: source node " + std::to_string(v) +
+                              " not at stage 0");
+      }
+      continue;
+    }
+    if (sv >= sa.sigma_po) {
+      violation(report, "R5: node " + std::to_string(v) +
+                            " at/after the PO capture stage");
+    }
+
+    if (ntk.is_tap(v)) {
+      if (sv != sigma_of(ntk.fanins(v)[0])) {
+        violation(report,
+                  "R4: tap " + std::to_string(v) + " not at core stage");
+      }
+      continue;
+    }
+
+    if (k == CellKind::kT1) {
+      if (n < 3) {
+        violation(report, "R3: T1 with fewer than 3 phases");
+        continue;
+      }
+      std::array<int, 3> arrival{};
+      const auto f = ntk.fanins(v);
+      for (int j = 0; j < 3; ++j) {
+        // Constants deliver their pulse locally at any required slot; model
+        // them as hitting the earliest window slot.
+        arrival[j] = ntk.is_const(f[j]) ? sv - n : sigma_of(f[j]);
+        ++report.checked_edges;
+      }
+      for (int j = 0; j < 3; ++j) {
+        if (!ntk.is_const(f[j]) &&
+            (arrival[j] < sv - n || arrival[j] > sv - 1)) {
+          violation(report, "R3: T1 " + std::to_string(v) + " input " +
+                                std::to_string(j) + " outside window");
+        }
+        for (int l = j + 1; l < 3; ++l) {
+          const bool both_real = !ntk.is_const(f[j]) && !ntk.is_const(f[l]);
+          if (both_real && arrival[j] == arrival[l]) {
+            violation(report, "R3: T1 " + std::to_string(v) +
+                                  " overlapping input arrivals");
+          }
+        }
+      }
+      continue;
+    }
+
+    // Regular clocked cells (logic + DFF).
+    for (const std::uint32_t u : ntk.fanins(v)) {
+      if (ntk.is_const(u)) continue;
+      ++report.checked_edges;
+      const int gap = sv - sigma_of(u);
+      if (gap < 1 || gap > n) {
+        violation(report, "R2: edge " + std::to_string(u) + "->" +
+                              std::to_string(v) + " gap " +
+                              std::to_string(gap) + " outside [1," +
+                              std::to_string(n) + "]");
+      }
+    }
+  }
+
+  for (const auto& po : ntk.pos()) {
+    if (ntk.is_const(po.driver)) continue;
+    ++report.checked_edges;
+    const int gap = sa.sigma_po - sa.sigma[po.driver];
+    if (gap < 1 || gap > n) {
+      violation(report, "R5: PO '" + po.name + "' gap " +
+                            std::to_string(gap) + " outside [1," +
+                            std::to_string(n) + "]");
+    }
+  }
+  return report;
+}
+
+}  // namespace t1map::retime

@@ -1,0 +1,35 @@
+/// \file timing_check.hpp
+/// \brief Independent timing validation of a materialized SFQ netlist.
+///
+/// Re-derives every local timing rule from scratch (no shared code with the
+/// stage assigner or DFF inserter, so bugs there cannot hide here):
+///
+///   R1  PIs and constants sit at stage 0.
+///   R2  Every clocked cell captures each (non-constant) fanin within one
+///       cycle: `1 <= σ(v) − σ(producer) <= n`.
+///   R3  T1 cores: the three data pulses arrive at pairwise-distinct stages
+///       inside `[σ_T1 − n, σ_T1 − 1]` (paper eqs. 3/5) and n >= 3.
+///   R4  Taps share their core's stage.
+///   R5  Every PO is captured within one cycle of its driver, at the common
+///       stage σ_PO, and no node lies at or beyond σ_PO.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "retime/stage_assign.hpp"
+#include "sfq/netlist.hpp"
+
+namespace t1map::retime {
+
+struct TimingReport {
+  bool ok = true;
+  std::vector<std::string> violations;
+  long checked_edges = 0;
+};
+
+/// Validates a netlist whose DFFs are explicit (output of `insert_dffs`).
+TimingReport check_timing(const sfq::Netlist& ntk, const StageAssignment& sa);
+
+}  // namespace t1map::retime

@@ -1,0 +1,133 @@
+#include "sat/cec.hpp"
+
+#include "sat/cnf.hpp"
+
+namespace t1map::sat {
+
+namespace {
+
+/// Asserts "some pair differs" and solves.
+CecResult solve_miter(Solver& solver, std::uint32_t num_pis,
+                      std::span<const Lit> pi_lits,
+                      std::span<const Lit> out_a, std::span<const Lit> out_b,
+                      std::int64_t conflict_limit) {
+  T1MAP_REQUIRE(out_a.size() == out_b.size(), "miter: PO count mismatch");
+  std::vector<Lit> diffs;
+  for (std::size_t i = 0; i < out_a.size(); ++i) {
+    const Lit d = fresh_lit(solver);
+    encode_xor2(solver, d, out_a[i], out_b[i]);
+    diffs.push_back(d);
+  }
+  solver.add_clause(diffs);  // at least one difference
+
+  const std::int64_t before = solver.num_conflicts();
+  const Solver::Result r = solver.solve(conflict_limit);
+  CecResult result;
+  result.conflicts = solver.num_conflicts() - before;
+  switch (r) {
+    case Solver::Result::kUnsat:
+      result.verdict = CecResult::Verdict::kEquivalent;
+      break;
+    case Solver::Result::kSat: {
+      result.verdict = CecResult::Verdict::kNotEquivalent;
+      result.counterexample.reserve(num_pis);
+      for (std::uint32_t i = 0; i < num_pis; ++i) {
+        result.counterexample.push_back(
+            solver.model_value(lit_var(pi_lits[i])));
+      }
+      break;
+    }
+    case Solver::Result::kUnknown:
+      result.verdict = CecResult::Verdict::kUnknown;
+      break;
+  }
+  return result;
+}
+
+}  // namespace
+
+std::vector<Lit> encode_netlist(Solver& solver, const sfq::Netlist& ntk,
+                                std::span<const Lit> pi_lits) {
+  using sfq::CellKind;
+  T1MAP_REQUIRE(pi_lits.size() == ntk.num_pis(),
+                "encode_netlist: wrong number of PI literals");
+
+  std::vector<Lit> node_lit(ntk.num_nodes(), 0);
+  std::uint32_t pi_index = 0;
+  for (std::uint32_t id = 0; id < ntk.num_nodes(); ++id) {
+    const CellKind k = ntk.kind(id);
+    switch (k) {
+      case CellKind::kPi:
+        node_lit[id] = pi_lits[pi_index++];
+        break;
+      case CellKind::kConst0:
+      case CellKind::kConst1: {
+        const Lit l = fresh_lit(solver);
+        solver.add_clause({k == CellKind::kConst1 ? l : lit_negate(l)});
+        node_lit[id] = l;
+        break;
+      }
+      case CellKind::kBuf:
+      case CellKind::kDff:
+        node_lit[id] = node_lit[ntk.fanins(id)[0]];
+        break;
+      case CellKind::kNot:
+        node_lit[id] = lit_negate(node_lit[ntk.fanins(id)[0]]);
+        break;
+      case CellKind::kT1:
+        node_lit[id] = 0;  // no value; taps encode the functions
+        break;
+      default: {
+        const Lit out = fresh_lit(solver);
+        std::vector<Lit> ins;
+        if (ntk.is_tap(id)) {
+          for (const std::uint32_t c : ntk.fanins(ntk.fanins(id)[0])) {
+            ins.push_back(node_lit[c]);
+          }
+        } else {
+          for (const std::uint32_t f : ntk.fanins(id)) {
+            ins.push_back(node_lit[f]);
+          }
+        }
+        encode_tt(solver, out, sfq::cell_tt(k), ins);
+        node_lit[id] = out;
+        break;
+      }
+    }
+  }
+
+  std::vector<Lit> pos;
+  pos.reserve(ntk.num_pos());
+  for (const auto& po : ntk.pos()) pos.push_back(node_lit[po.driver]);
+  return pos;
+}
+
+CecResult check_equivalence(const Aig& aig, const sfq::Netlist& ntk,
+                            std::int64_t conflict_limit) {
+  T1MAP_REQUIRE(aig.num_pis() == ntk.num_pis(), "CEC: PI count mismatch");
+  Solver solver;
+  std::vector<Lit> pis;
+  for (std::uint32_t i = 0; i < aig.num_pis(); ++i) {
+    pis.push_back(fresh_lit(solver));
+  }
+  const AigCnf cnf = encode_aig(solver, aig, pis);
+  const std::vector<Lit> ntk_pos = encode_netlist(solver, ntk, pis);
+  return solve_miter(solver, aig.num_pis(), pis, cnf.po_lits, ntk_pos,
+                     conflict_limit);
+}
+
+CecResult check_equivalence(const Aig& a, const Aig& b,
+                            std::int64_t conflict_limit) {
+  T1MAP_REQUIRE(a.num_pis() == b.num_pis(), "CEC: PI count mismatch");
+  Solver solver;
+  std::vector<Lit> pis;
+  for (std::uint32_t i = 0; i < a.num_pis(); ++i) {
+    pis.push_back(fresh_lit(solver));
+  }
+  const AigCnf cnf_a = encode_aig(solver, a, pis);
+  const AigCnf cnf_b = encode_aig(solver, b, pis);
+  return solve_miter(solver, a.num_pis(), pis, cnf_a.po_lits, cnf_b.po_lits,
+                     conflict_limit);
+}
+
+}  // namespace t1map::sat

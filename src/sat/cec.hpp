@@ -1,0 +1,41 @@
+/// \file cec.hpp
+/// \brief Combinational equivalence checking via SAT miters.
+///
+/// Builds a miter between two designs over shared PI variables and asks the
+/// CDCL solver whether any output pair can differ.  UNSAT proves
+/// equivalence.  This complements random simulation: the flow's tests run
+/// both on every transformation.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "sat/solver.hpp"
+#include "sfq/netlist.hpp"
+
+namespace t1map::sat {
+
+struct CecResult {
+  enum class Verdict { kEquivalent, kNotEquivalent, kUnknown };
+  Verdict verdict = Verdict::kUnknown;
+  /// For kNotEquivalent: one distinguishing input assignment (per PI).
+  std::vector<bool> counterexample;
+  std::int64_t conflicts = 0;
+};
+
+/// AIG vs. SFQ netlist.  `conflict_limit < 0`: no limit.
+CecResult check_equivalence(const Aig& aig, const sfq::Netlist& ntk,
+                            std::int64_t conflict_limit = -1);
+
+/// AIG vs. AIG.
+CecResult check_equivalence(const Aig& a, const Aig& b,
+                            std::int64_t conflict_limit = -1);
+
+/// Encodes a netlist into the solver with the given PI literals; returns
+/// one literal per PO.
+std::vector<Lit> encode_netlist(Solver& solver, const sfq::Netlist& ntk,
+                                std::span<const Lit> pi_lits);
+
+}  // namespace t1map::sat

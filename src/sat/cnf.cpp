@@ -1,0 +1,85 @@
+#include "sat/cnf.hpp"
+
+namespace t1map::sat {
+
+void encode_and2(Solver& solver, Lit out, Lit a, Lit b) {
+  solver.add_clause({lit_negate(out), a});
+  solver.add_clause({lit_negate(out), b});
+  solver.add_clause({out, lit_negate(a), lit_negate(b)});
+}
+
+void encode_or2(Solver& solver, Lit out, Lit a, Lit b) {
+  solver.add_clause({out, lit_negate(a)});
+  solver.add_clause({out, lit_negate(b)});
+  solver.add_clause({lit_negate(out), a, b});
+}
+
+void encode_xor2(Solver& solver, Lit out, Lit a, Lit b) {
+  solver.add_clause({lit_negate(out), a, b});
+  solver.add_clause({lit_negate(out), lit_negate(a), lit_negate(b)});
+  solver.add_clause({out, lit_negate(a), b});
+  solver.add_clause({out, a, lit_negate(b)});
+}
+
+void encode_tt(Solver& solver, Lit out, const Tt& tt,
+               std::span<const Lit> ins) {
+  T1MAP_REQUIRE(static_cast<int>(ins.size()) == tt.num_vars(),
+                "encode_tt: input count must match arity");
+  // For every input assignment, assert the implied output value.  Each row
+  // yields one clause: (inputs differ from the row) or (out == f(row)).
+  std::vector<Lit> clause;
+  for (std::uint64_t row = 0; row < tt.num_bits(); ++row) {
+    clause.clear();
+    for (std::size_t i = 0; i < ins.size(); ++i) {
+      const bool bit_set = (row >> i) & 1u;
+      clause.push_back(bit_set ? lit_negate(ins[i]) : ins[i]);
+    }
+    clause.push_back(tt.bit(row) ? out : lit_negate(out));
+    solver.add_clause(clause);
+  }
+}
+
+AigCnf encode_aig(Solver& solver, const Aig& aig,
+                  std::span<const Lit> pi_lits) {
+  AigCnf cnf;
+  cnf.node_lit.assign(aig.num_nodes(), 0);
+
+  // Constant-false node: a fresh variable pinned to 0.
+  const Lit const_lit = fresh_lit(solver);
+  solver.add_clause({lit_negate(const_lit)});
+  cnf.node_lit[0] = const_lit;
+
+  if (pi_lits.empty()) {
+    cnf.pi_lits.reserve(aig.num_pis());
+    for (std::uint32_t i = 0; i < aig.num_pis(); ++i) {
+      cnf.pi_lits.push_back(fresh_lit(solver));
+    }
+  } else {
+    T1MAP_REQUIRE(pi_lits.size() == aig.num_pis(),
+                  "encode_aig: wrong number of PI literals");
+    cnf.pi_lits.assign(pi_lits.begin(), pi_lits.end());
+  }
+  for (std::uint32_t i = 0; i < aig.num_pis(); ++i) {
+    cnf.node_lit[aig.pis()[i]] = cnf.pi_lits[i];
+  }
+
+  const auto to_sat = [&cnf](t1map::Lit aig_lit) -> Lit {
+    const Lit base = cnf.node_lit[lit_node(aig_lit)];
+    return lit_is_complemented(aig_lit) ? lit_negate(base) : base;
+  };
+
+  for (std::uint32_t n = 0; n < aig.num_nodes(); ++n) {
+    if (!aig.is_and(n)) continue;
+    const Lit out = fresh_lit(solver);
+    encode_and2(solver, out, to_sat(aig.fanin0(n)), to_sat(aig.fanin1(n)));
+    cnf.node_lit[n] = out;
+  }
+
+  cnf.po_lits.reserve(aig.num_pos());
+  for (const t1map::Lit po : aig.pos()) {
+    cnf.po_lits.push_back(to_sat(po));
+  }
+  return cnf;
+}
+
+}  // namespace t1map::sat

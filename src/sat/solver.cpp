@@ -1,0 +1,368 @@
+#include "sat/solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace t1map::sat {
+
+namespace {
+
+/// Luby restart sequence (1,1,2,1,1,2,4,...) scaled by `base` conflicts.
+std::int64_t luby(std::int64_t base, int i) {
+  int k = 1;
+  while ((1 << (k + 1)) - 1 <= i + 1) ++k;
+  while ((1 << k) - 1 != i + 1) {
+    i -= (1 << (k - 1)) - 1 + 1;
+    --k;
+    while ((1 << (k + 1)) - 1 <= i + 1) ++k;
+  }
+  return base * (1ll << (k - 1));
+}
+
+}  // namespace
+
+int Solver::new_var() {
+  const int v = num_vars();
+  assign_.push_back(0);
+  model_.push_back(0);
+  saved_phase_.push_back(-1);  // default polarity: false (good for Tseitin)
+  level_.push_back(0);
+  reason_.push_back(kNoReason);
+  activity_.push_back(0.0);
+  seen_.push_back(0);
+  watches_.emplace_back();
+  watches_.emplace_back();
+  return v;
+}
+
+bool Solver::add_clause(std::span<const Lit> lits_in) {
+  T1MAP_REQUIRE(decision_level() == 0, "clauses must be added at level 0");
+  if (unsat_) return false;
+
+  // Simplify: sort, dedupe, drop false literals, detect tautologies.
+  std::vector<Lit> lits(lits_in.begin(), lits_in.end());
+  std::sort(lits.begin(), lits.end());
+  lits.erase(std::unique(lits.begin(), lits.end()), lits.end());
+  std::vector<Lit> result;
+  for (std::size_t i = 0; i < lits.size(); ++i) {
+    const Lit l = lits[i];
+    T1MAP_REQUIRE(lit_var(l) >= 0 && lit_var(l) < num_vars(),
+                  "clause references unknown variable");
+    if (i + 1 < lits.size() && lits[i + 1] == (l ^ 1)) return true;  // taut
+    if (i > 0 && lits[i - 1] == (l ^ 1)) return true;
+    if (value(l) == 1 && level_[lit_var(l)] == 0) return true;  // satisfied
+    if (value(l) == -1 && level_[lit_var(l)] == 0) continue;    // falsified
+    result.push_back(l);
+  }
+
+  if (result.empty()) {
+    unsat_ = true;
+    return false;
+  }
+  if (result.size() == 1) {
+    if (value(result[0]) == -1) {
+      unsat_ = true;
+      return false;
+    }
+    if (value(result[0]) == 0) {
+      enqueue(result[0], kNoReason);
+      if (propagate() != kNoReason) {
+        unsat_ = true;
+        return false;
+      }
+    }
+    return true;
+  }
+
+  const ClauseRef cr = static_cast<ClauseRef>(clauses_.size());
+  clauses_.push_back(Clause{std::move(result), 0.0, false, false});
+  attach(cr);
+  return true;
+}
+
+void Solver::attach(ClauseRef cr) {
+  const auto& lits = clauses_[cr].lits;
+  T1MAP_ASSERT(lits.size() >= 2);
+  watches_[lit_negate(lits[0])].push_back(cr);
+  watches_[lit_negate(lits[1])].push_back(cr);
+}
+
+void Solver::enqueue(Lit l, ClauseRef reason) {
+  T1MAP_ASSERT(value(l) == 0);
+  const int v = lit_var(l);
+  assign_[v] = lit_negated(l) ? -1 : 1;
+  level_[v] = decision_level();
+  reason_[v] = reason;
+  trail_.push_back(l);
+}
+
+Solver::ClauseRef Solver::propagate() {
+  while (qhead_ < trail_.size()) {
+    const Lit p = trail_[qhead_++];  // p is now true
+    ++propagations_;
+    auto& ws = watches_[p];  // clauses in which ~p is watched
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < ws.size(); ++i) {
+      const ClauseRef cr = ws[i];
+      Clause& c = clauses_[cr];
+      if (c.deleted) continue;  // dropped lazily
+      auto& lits = c.lits;
+      const Lit false_lit = lit_negate(p);
+      // Normalize: watched false literal at position 1.
+      if (lits[0] == false_lit) std::swap(lits[0], lits[1]);
+      T1MAP_ASSERT(lits[1] == false_lit);
+
+      if (value(lits[0]) == 1) {  // clause already satisfied
+        ws[keep++] = cr;
+        continue;
+      }
+      // Look for a replacement watch.
+      bool moved = false;
+      for (std::size_t k = 2; k < lits.size(); ++k) {
+        if (value(lits[k]) != -1) {
+          std::swap(lits[1], lits[k]);
+          watches_[lit_negate(lits[1])].push_back(cr);
+          moved = true;
+          break;
+        }
+      }
+      if (moved) continue;
+
+      // Unit or conflicting.
+      if (value(lits[0]) == -1) {
+        // Conflict: keep remaining watches and bail out.
+        for (; i < ws.size(); ++i) ws[keep++] = ws[i];
+        ws.resize(keep);
+        qhead_ = trail_.size();
+        return cr;
+      }
+      enqueue(lits[0], cr);
+      ws[keep++] = cr;
+    }
+    ws.resize(keep);
+  }
+  return kNoReason;
+}
+
+void Solver::analyze(ClauseRef conflict, std::vector<Lit>& learned,
+                     int& backtrack_level) {
+  learned.clear();
+  learned.push_back(0);  // slot for the asserting literal
+
+  int counter = 0;
+  Lit p = -1;
+  std::size_t index = trail_.size();
+  ClauseRef reason = conflict;
+
+  do {
+    T1MAP_ASSERT(reason != kNoReason);
+    Clause& c = clauses_[reason];
+    if (c.learned) bump_clause(c);
+    for (const Lit q : c.lits) {
+      if (p != -1 && q == p) continue;
+      const int v = lit_var(q);
+      if (seen_[v] || level_[v] == 0) continue;
+      seen_[v] = 1;
+      bump_var(v);
+      if (level_[v] == decision_level()) {
+        ++counter;
+      } else {
+        learned.push_back(q);
+      }
+    }
+    // Walk the trail backwards to the next marked literal.
+    while (!seen_[lit_var(trail_[index - 1])]) --index;
+    --index;
+    p = trail_[index];
+    seen_[lit_var(p)] = 0;
+    reason = reason_[lit_var(p)];
+    --counter;
+  } while (counter > 0);
+  learned[0] = lit_negate(p);
+
+  // Cheap clause minimization: drop literals implied by the rest at level 0
+  // or whose reason's literals are all already in the clause.
+  std::vector<Lit> all_learned(learned.begin() + 1, learned.end());
+  std::size_t keep = 1;
+  for (std::size_t i = 1; i < learned.size(); ++i) {
+    const int v = lit_var(learned[i]);
+    const ClauseRef r = reason_[v];
+    bool redundant = false;
+    if (r != kNoReason) {
+      redundant = true;
+      for (const Lit q : clauses_[r].lits) {
+        const int qv = lit_var(q);
+        if (qv == v || level_[qv] == 0) continue;
+        if (!seen_[qv]) {
+          redundant = false;
+          break;
+        }
+      }
+    }
+    if (!redundant) learned[keep++] = learned[i];
+  }
+  learned.resize(keep);
+
+  // Backtrack to the second-highest level in the clause.
+  backtrack_level = 0;
+  for (std::size_t i = 1; i < learned.size(); ++i) {
+    backtrack_level = std::max(backtrack_level, level_[lit_var(learned[i])]);
+    // Move the highest-level literal into the first watch position.
+    if (level_[lit_var(learned[i])] > level_[lit_var(learned[1])]) {
+      std::swap(learned[1], learned[i]);
+    }
+  }
+
+  // Clear marks for every literal that was in the pre-minimization clause,
+  // including the ones minimization removed.
+  for (const Lit l : all_learned) seen_[lit_var(l)] = 0;
+}
+
+void Solver::backtrack(int target) {
+  while (decision_level() > target) {
+    const int begin = trail_lim_.back();
+    for (int i = static_cast<int>(trail_.size()) - 1; i >= begin; --i) {
+      const int v = lit_var(trail_[i]);
+      saved_phase_[v] = assign_[v];
+      assign_[v] = 0;
+      reason_[v] = kNoReason;
+    }
+    trail_.resize(begin);
+    trail_lim_.pop_back();
+  }
+  qhead_ = trail_.size();
+}
+
+Lit Solver::pick_branch() {
+  int best = -1;
+  double best_act = -1.0;
+  for (int v = 0; v < num_vars(); ++v) {
+    if (assign_[v] == 0 && activity_[v] > best_act) {
+      best_act = activity_[v];
+      best = v;
+    }
+  }
+  if (best < 0) return -1;
+  return mk_lit(best, saved_phase_[best] <= 0);
+}
+
+void Solver::bump_var(int var) {
+  activity_[var] += var_inc_;
+  if (activity_[var] > 1e100) {
+    for (double& a : activity_) a *= 1e-100;
+    var_inc_ *= 1e-100;
+  }
+}
+
+void Solver::bump_clause(Clause& c) {
+  c.activity += clause_inc_;
+  if (c.activity > 1e20) {
+    for (const ClauseRef cr : learned_refs_) clauses_[cr].activity *= 1e-20;
+    clause_inc_ *= 1e-20;
+  }
+}
+
+void Solver::decay_activities() {
+  var_inc_ /= 0.95;
+  clause_inc_ /= 0.999;
+}
+
+void Solver::reduce_learned() {
+  // Remove the less active half of the learned clauses, sparing short ones
+  // and clauses currently acting as reasons.
+  std::vector<ClauseRef> sorted = learned_refs_;
+  std::sort(sorted.begin(), sorted.end(), [&](ClauseRef a, ClauseRef b) {
+    return clauses_[a].activity < clauses_[b].activity;
+  });
+  std::vector<bool> is_reason(clauses_.size(), false);
+  for (const Lit l : trail_) {
+    const ClauseRef r = reason_[lit_var(l)];
+    if (r != kNoReason) is_reason[r] = true;
+  }
+  std::size_t removed = 0;
+  for (std::size_t i = 0; i < sorted.size() / 2; ++i) {
+    Clause& c = clauses_[sorted[i]];
+    if (c.lits.size() <= 2 || is_reason[sorted[i]] || c.deleted) continue;
+    c.deleted = true;
+    c.lits.clear();
+    c.lits.shrink_to_fit();
+    ++removed;
+  }
+  if (removed > 0) {
+    learned_refs_.erase(
+        std::remove_if(learned_refs_.begin(), learned_refs_.end(),
+                       [&](ClauseRef cr) { return clauses_[cr].deleted; }),
+        learned_refs_.end());
+  }
+}
+
+Solver::Result Solver::solve(std::int64_t conflict_limit) {
+  if (unsat_) return Result::kUnsat;
+  if (propagate() != kNoReason) {
+    unsat_ = true;
+    return Result::kUnsat;
+  }
+
+  const std::int64_t start_conflicts = conflicts_;
+  int restart_index = 0;
+  std::int64_t restart_budget = luby(100, restart_index);
+  std::int64_t conflicts_since_restart = 0;
+  std::size_t max_learned = 4000 + clauses_.size() / 2;
+
+  std::vector<Lit> learned;
+  for (;;) {
+    const ClauseRef conflict = propagate();
+    if (conflict != kNoReason) {
+      ++conflicts_;
+      ++conflicts_since_restart;
+      if (decision_level() == 0) {
+        unsat_ = true;
+        return Result::kUnsat;
+      }
+      int back_level = 0;
+      analyze(conflict, learned, back_level);
+      backtrack(back_level);
+      if (learned.size() == 1) {
+        enqueue(learned[0], kNoReason);
+      } else {
+        const ClauseRef cr = static_cast<ClauseRef>(clauses_.size());
+        clauses_.push_back(Clause{learned, clause_inc_, true, false});
+        learned_refs_.push_back(cr);
+        attach(cr);
+        enqueue(learned[0], cr);
+      }
+      decay_activities();
+
+      if (conflict_limit >= 0 &&
+          conflicts_ - start_conflicts >= conflict_limit) {
+        backtrack(0);
+        return Result::kUnknown;
+      }
+      if (conflicts_since_restart >= restart_budget) {
+        backtrack(0);
+        conflicts_since_restart = 0;
+        restart_budget = luby(100, ++restart_index);
+      }
+      if (learned_refs_.size() > max_learned) {
+        reduce_learned();
+        max_learned += max_learned / 10;
+      }
+      continue;
+    }
+
+    const Lit next = pick_branch();
+    if (next < 0) {
+      // Full assignment: record the model.
+      model_ = assign_;
+      backtrack(0);
+      return Result::kSat;
+    }
+    ++decisions_;
+    trail_lim_.push_back(static_cast<int>(trail_.size()));
+    enqueue(next, kNoReason);
+  }
+}
+
+}  // namespace t1map::sat

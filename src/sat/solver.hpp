@@ -1,0 +1,111 @@
+/// \file solver.hpp
+/// \brief Conflict-driven clause-learning (CDCL) SAT solver.
+///
+/// A compact MiniSat-style solver: two-watched-literal propagation, first-UIP
+/// conflict analysis, VSIDS-like variable activities with phase saving, Luby
+/// restarts, and activity-based learned-clause reduction.  It backs the
+/// combinational equivalence checks of the mapping flow and the exactness
+/// experiments on DFF insertion (the roles OR-Tools CP-SAT and `abc cec`
+/// play around the paper).
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace t1map::sat {
+
+/// Literal encoding: 2*var for the positive literal, 2*var+1 for negated.
+using Lit = std::int32_t;
+
+constexpr Lit mk_lit(int var, bool negated = false) {
+  return static_cast<Lit>(2 * var + (negated ? 1 : 0));
+}
+constexpr int lit_var(Lit l) { return l >> 1; }
+constexpr bool lit_negated(Lit l) { return (l & 1) != 0; }
+constexpr Lit lit_negate(Lit l) { return l ^ 1; }
+
+class Solver {
+ public:
+  enum class Result { kSat, kUnsat, kUnknown };
+
+  /// Adds a fresh variable; returns its index.
+  int new_var();
+  int num_vars() const { return static_cast<int>(assign_.size()); }
+
+  /// Adds a clause (disjunction of literals).  Returns false if the clause
+  /// system became trivially unsatisfiable (empty clause).
+  bool add_clause(std::span<const Lit> lits);
+  bool add_clause(std::initializer_list<Lit> lits) {
+    return add_clause(std::span<const Lit>(lits.begin(), lits.size()));
+  }
+
+  /// Solves the current formula.  `conflict_limit < 0` means no limit.
+  Result solve(std::int64_t conflict_limit = -1);
+
+  /// Model access after kSat.
+  bool model_value(int var) const { return model_.at(var) > 0; }
+
+  // Statistics (cumulative across solve calls).
+  std::int64_t num_conflicts() const { return conflicts_; }
+  std::int64_t num_decisions() const { return decisions_; }
+  std::int64_t num_propagations() const { return propagations_; }
+
+ private:
+  using ClauseRef = std::int32_t;
+  static constexpr ClauseRef kNoReason = -1;
+
+  struct Clause {
+    std::vector<Lit> lits;
+    double activity = 0.0;
+    bool learned = false;
+    bool deleted = false;
+  };
+
+  // Assignment values: +1 true, -1 false, 0 unassigned.
+  int value(Lit l) const {
+    const int v = assign_[lit_var(l)];
+    return lit_negated(l) ? -v : v;
+  }
+
+  void enqueue(Lit l, ClauseRef reason);
+  ClauseRef propagate();
+  void analyze(ClauseRef conflict, std::vector<Lit>& learned,
+               int& backtrack_level);
+  void backtrack(int level);
+  Lit pick_branch();
+  void bump_var(int var);
+  void bump_clause(Clause& c);
+  void decay_activities();
+  void reduce_learned();
+  void attach(ClauseRef cr);
+
+  int decision_level() const { return static_cast<int>(trail_lim_.size()); }
+
+  std::vector<Clause> clauses_;
+  std::vector<ClauseRef> learned_refs_;
+  std::vector<std::vector<ClauseRef>> watches_;  // indexed by literal
+
+  std::vector<std::int8_t> assign_;
+  std::vector<std::int8_t> model_;
+  std::vector<std::int8_t> saved_phase_;
+  std::vector<int> level_;
+  std::vector<ClauseRef> reason_;
+  std::vector<Lit> trail_;
+  std::vector<int> trail_lim_;
+  std::size_t qhead_ = 0;
+
+  std::vector<double> activity_;
+  double var_inc_ = 1.0;
+  double clause_inc_ = 1.0;
+
+  bool unsat_ = false;
+  std::int64_t conflicts_ = 0;
+  std::int64_t decisions_ = 0;
+  std::int64_t propagations_ = 0;
+
+  std::vector<std::int8_t> seen_;  // scratch for analyze()
+};
+
+}  // namespace t1map::sat

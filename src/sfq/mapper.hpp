@@ -1,0 +1,56 @@
+/// \file mapper.hpp
+/// \brief Cut-based technology mapping from AIG to the SFQ cell library.
+///
+/// Every SFQ logic gate is clocked, so logic depth directly sets the
+/// pipeline length and — through path balancing — the DFF bill.  The mapper
+/// is therefore *depth-oriented*: per node it selects, among all 3-feasible
+/// cuts whose function is implementable as one library cell plus input /
+/// output inverters, the config with minimal arrival time, breaking ties by
+/// area flow.  This is how the wide XOR3/MAJ3 cells win on carry chains
+/// (one stage instead of two) exactly as in the paper's `adder` row, while
+/// AND2-dominated control logic maps to cheap 2-input cells.
+///
+/// Inverters are explicit clocked NOT cells (RSFQ inverters are clocked);
+/// they are deduplicated per driven signal.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "cut/cut_enum.hpp"
+#include "sfq/netlist.hpp"
+
+namespace t1map::sfq {
+
+struct MapperParams {
+  CutParams cuts{/*k=*/3, /*max_cuts=*/16};
+};
+
+struct MapStats {
+  long cells = 0;      // library cells instantiated (inverters included)
+  long inverters = 0;  // NOT cells among them
+  int depth_stages = 0;
+};
+
+/// One way to realize a Boolean function as a library cell plus inverters.
+struct CellConfig {
+  CellKind kind;
+  std::uint8_t input_neg = 0;  // bit i: invert input i
+  bool output_neg = false;
+  int area = 0;  // cell + inverter JJ area (before inverter sharing)
+};
+
+/// All non-dominated configs realizing `tt` (arity 1..3, full support).
+/// Empty when the function is not realizable as a single cell + inverters
+/// (possible only for some 3-variable functions).
+const std::vector<CellConfig>& match_function(const Tt& tt);
+
+/// Maps `aig` to an SFQ netlist with identical PI/PO interface and
+/// function.  The result contains logic cells only (no DFFs, no T1s —
+/// T1 substitution is the separate detection pass of t1/).
+Netlist map_to_sfq(const Aig& aig, const MapperParams& params = {},
+                   MapStats* stats = nullptr);
+
+}  // namespace t1map::sfq

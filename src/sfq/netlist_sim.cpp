@@ -1,0 +1,75 @@
+#include "sfq/netlist_sim.hpp"
+
+#include "aig/aig_sim.hpp"
+#include "common/rng.hpp"
+
+namespace t1map::sfq {
+
+namespace {
+
+std::optional<Mismatch> compare_round(const Aig& aig, const Netlist& ntk,
+                                      std::vector<std::uint64_t> pi_words) {
+  const auto aig_out = simulate(aig, pi_words);
+  const auto ntk_out = ntk.simulate(pi_words);
+  for (std::uint32_t i = 0; i < aig.num_pos(); ++i) {
+    if (aig_out[i] != ntk_out[i]) {
+      return Mismatch{i, std::move(pi_words)};
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<Mismatch> find_sim_mismatch(const Aig& aig, const Netlist& ntk,
+                                          int rounds, std::uint64_t seed) {
+  T1MAP_REQUIRE(aig.num_pis() == ntk.num_pis(),
+                "equivalence check: PI count mismatch");
+  T1MAP_REQUIRE(aig.num_pos() == ntk.num_pos(),
+                "equivalence check: PO count mismatch");
+
+  const std::uint32_t n = aig.num_pis();
+  if (n <= Tt::kMaxVars) {
+    // Exhaustive: encode all 2^n assignments in projection words.
+    std::vector<std::uint64_t> pi_words(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      pi_words[i] = Tt::var(static_cast<int>(n), static_cast<int>(i)).bits();
+    }
+    const std::uint64_t live = (n == 6) ? ~0ull : (1ull << (1u << n)) - 1;
+    const auto aig_out = simulate(aig, pi_words);
+    const auto ntk_out = ntk.simulate(pi_words);
+    for (std::uint32_t i = 0; i < aig.num_pos(); ++i) {
+      if (((aig_out[i] ^ ntk_out[i]) & live) != 0) {
+        return Mismatch{i, pi_words};
+      }
+    }
+    return std::nullopt;
+  }
+
+  Rng rng(seed);
+  for (int r = 0; r < rounds; ++r) {
+    std::vector<std::uint64_t> pi_words(n);
+    for (auto& w : pi_words) w = rng.next();
+    if (auto m = compare_round(aig, ntk, std::move(pi_words))) return m;
+  }
+  // A few structured patterns: all-zero, all-one, walking ones.
+  std::vector<std::uint64_t> zeros(n, 0);
+  if (auto m = compare_round(aig, ntk, zeros)) return m;
+  std::vector<std::uint64_t> ones(n, ~0ull);
+  if (auto m = compare_round(aig, ntk, ones)) return m;
+  for (std::uint32_t block = 0; block < n; block += 64) {
+    std::vector<std::uint64_t> walk(n, 0);
+    for (std::uint32_t i = block; i < std::min(block + 64, n); ++i) {
+      walk[i] = 1ull << (i - block);
+    }
+    if (auto m = compare_round(aig, ntk, std::move(walk))) return m;
+  }
+  return std::nullopt;
+}
+
+bool random_equivalent(const Aig& aig, const Netlist& ntk, int rounds,
+                       std::uint64_t seed) {
+  return !find_sim_mismatch(aig, ntk, rounds, seed).has_value();
+}
+
+}  // namespace t1map::sfq

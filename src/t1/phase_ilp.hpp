@@ -1,0 +1,47 @@
+/// \file phase_ilp.hpp
+/// \brief Exact ILP phase assignment — the paper's §II-B formulation, solved
+/// with the in-tree simplex + branch-and-bound instead of Google OR-Tools.
+///
+/// Variables: one integer stage per clocked element, one shared-chain DFF
+/// count per driver, and per T1 input a *release* stage plus its chain cost.
+/// Constraints:
+///   * edge legality `σ(v) ≥ σ(u) + 1`;
+///   * shared chains  `n·M_u ≥ σ(v) − σ(u) − n`   (ceil((Δσ)/n)−1 linearized);
+///   * T1 releases inside the capture window with pairwise distinctness via
+///     big-M binaries — this *implies* eq. (3) and makes the eq. (4) extra
+///     DFF cost emerge as `n·C_j ≥ r_j − σ(u_j)`.
+/// Objective: `Σ M_u + Σ C_j` — the exact DFF count `count_dffs` computes.
+///
+/// Intended for small netlists (tests and the optimality-gap ablation);
+/// `retime::assign_stages` is the scalable heuristic used by the benches.
+
+#pragma once
+
+#include "ilp/ilp.hpp"
+#include "retime/stage_assign.hpp"
+#include "sfq/netlist.hpp"
+
+namespace t1map::t1 {
+
+struct PhaseIlpParams {
+  int num_phases = 4;
+  /// PO capture stage; <= 0 means "use the ASAP depth" (depth-preserving,
+  /// matching the heuristic).
+  int sigma_po = 0;
+  ilp::IlpParams ilp;
+};
+
+struct PhaseIlpResult {
+  bool solved = false;
+  retime::StageAssignment assignment;
+  /// Optimal DFF count (the ILP objective).
+  long objective_dffs = 0;
+  long bb_nodes = 0;
+};
+
+/// Solves the exact phase-assignment ILP.  Throws on malformed netlists;
+/// returns solved=false when branch-and-bound hits its node limit.
+PhaseIlpResult assign_stages_ilp(const sfq::Netlist& ntk,
+                                 const PhaseIlpParams& params);
+
+}  // namespace t1map::t1

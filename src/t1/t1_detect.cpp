@@ -1,0 +1,238 @@
+#include "t1/t1_detect.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace t1map::t1 {
+
+namespace {
+
+using sfq::CellKind;
+using sfq::Netlist;
+
+constexpr int kInverterArea = 9;
+
+struct Target {
+  std::uint64_t tt_bits;
+  T1Output output;
+};
+
+/// The five target functions under input polarity `p`.
+std::array<Target, 5> targets_for_polarity(std::uint8_t p) {
+  const Tt x = tts::xor3().apply_polarity(p);
+  const Tt m = tts::maj3().apply_polarity(p);
+  const Tt o = tts::or3().apply_polarity(p);
+  return {Target{x.bits(), T1Output::kS}, Target{m.bits(), T1Output::kC},
+          Target{o.bits(), T1Output::kQ}, Target{(~m).bits(), T1Output::kCn},
+          Target{(~o).bits(), T1Output::kQn}};
+}
+
+/// Area charged to a candidate: core + inverters for negated inputs and for
+/// each distinct starred output kind in use.
+long t1_area(std::uint8_t polarity, const std::vector<T1Match>& matches) {
+  long area = sfq::kT1AreaJj + kInverterArea * __builtin_popcount(polarity);
+  bool used[5] = {false, false, false, false, false};
+  for (const T1Match& m : matches) {
+    const int idx = static_cast<int>(m.output);
+    if (!used[idx] && output_is_negated(m.output)) area += kInverterArea;
+    used[idx] = true;
+  }
+  return area;
+}
+
+/// Group MFFC: matched roots plus every logic cell all of whose consumers
+/// (including PO references) land inside the set.  Leaves never join.
+std::vector<std::uint32_t> group_mffc(
+    const Netlist& ntk, const std::vector<std::vector<std::uint32_t>>& fanouts,
+    const std::vector<bool>& drives_po,
+    const std::array<std::uint32_t, 3>& leaves,
+    const std::vector<T1Match>& matches) {
+  // Work over the id range spanned by the group.
+  std::uint32_t hi = 0;
+  for (const T1Match& m : matches) hi = std::max(hi, m.node);
+
+  std::vector<bool> in_set(hi + 1, false);
+  const auto is_leaf = [&](std::uint32_t v) {
+    return v == leaves[0] || v == leaves[1] || v == leaves[2];
+  };
+  for (const T1Match& m : matches) in_set[m.node] = true;
+
+  // Reverse-topological cascade: consumers have larger ids, so a high-to-low
+  // scan decides them first.
+  for (std::uint32_t v = hi + 1; v-- > 0;) {
+    if (in_set[v]) continue;
+    if (!sfq::cell_is_logic(ntk.kind(v)) || is_leaf(v) || drives_po[v]) {
+      continue;
+    }
+    const auto& outs = fanouts[v];
+    if (outs.empty()) continue;
+    bool all_inside = true;
+    for (const std::uint32_t w : outs) {
+      if (w > hi || !in_set[w]) {
+        all_inside = false;
+        break;
+      }
+    }
+    if (all_inside) in_set[v] = true;
+  }
+
+  std::vector<std::uint32_t> result;
+  for (std::uint32_t v = 0; v <= hi; ++v) {
+    if (in_set[v]) result.push_back(v);
+  }
+  return result;
+}
+
+}  // namespace
+
+sfq::CellKind tap_kind(T1Output output) {
+  switch (output) {
+    case T1Output::kS: return CellKind::kT1TapS;
+    case T1Output::kC: return CellKind::kT1TapC;
+    case T1Output::kQ: return CellKind::kT1TapQ;
+    case T1Output::kCn: return CellKind::kT1TapCn;
+    case T1Output::kQn: return CellKind::kT1TapQn;
+  }
+  T1MAP_REQUIRE(false, "bad T1 output");
+  return CellKind::kT1TapS;
+}
+
+bool output_is_negated(T1Output output) {
+  return output == T1Output::kCn || output == T1Output::kQn;
+}
+
+DetectResult detect_t1(const Netlist& ntk, const DetectParams& params) {
+  T1MAP_REQUIRE(ntk.num_t1() == 0,
+                "detect_t1 expects a netlist without T1 cells");
+  const auto cuts = enumerate_cuts(ntk, params.cuts);
+
+  // Consumer lists + PO flags for MFFC computation.
+  std::vector<std::vector<std::uint32_t>> fanouts(ntk.num_nodes());
+  for (std::uint32_t v = 0; v < ntk.num_nodes(); ++v) {
+    for (const std::uint32_t u : ntk.fanins(v)) fanouts[u].push_back(v);
+  }
+  std::vector<bool> drives_po(ntk.num_nodes(), false);
+  for (const auto& po : ntk.pos()) drives_po[po.driver] = true;
+
+  // Group matched cuts by (leaf set, polarity).
+  struct GroupKey {
+    std::array<std::uint32_t, 3> leaves;
+    std::uint8_t polarity;
+    bool operator<(const GroupKey& o) const {
+      return leaves != o.leaves ? leaves < o.leaves : polarity < o.polarity;
+    }
+  };
+  std::map<GroupKey, std::vector<T1Match>> groups;
+
+  const int num_polarities = params.allow_input_negation ? 8 : 1;
+  std::vector<std::array<Target, 5>> targets;
+  for (int p = 0; p < num_polarities; ++p) {
+    targets.push_back(targets_for_polarity(static_cast<std::uint8_t>(p)));
+  }
+
+  for (std::uint32_t node = 0; node < ntk.num_nodes(); ++node) {
+    if (!sfq::cell_is_logic(ntk.kind(node))) continue;
+    for (const Cut& cut : cuts[node]) {
+      if (cut.leaves.size() != 3 || cut.is_trivial(node)) continue;
+      bool const_leaf = false;
+      for (const std::uint32_t l : cut.leaves) {
+        if (ntk.is_const(l)) const_leaf = true;
+      }
+      if (const_leaf) continue;  // T1 data inputs must be pulse signals
+      const std::uint64_t bits = cut.tt.bits();
+      for (int p = 0; p < num_polarities; ++p) {
+        for (const Target& target : targets[p]) {
+          if (target.tt_bits != bits) continue;
+          GroupKey key{{cut.leaves[0], cut.leaves[1], cut.leaves[2]},
+                       static_cast<std::uint8_t>(p)};
+          groups[key].push_back(T1Match{node, target.output});
+        }
+      }
+    }
+  }
+
+  // Build candidates: per (leaves, polarity) group with >= 2 distinct roots.
+  std::vector<T1Candidate> candidates;
+  for (const auto& [key, matches_raw] : groups) {
+    // One output per root: a root matching several targets (impossible
+    // within one polarity) or duplicated cuts collapse to one entry.
+    std::vector<T1Match> matches;
+    for (const T1Match& m : matches_raw) {
+      const bool dup =
+          std::any_of(matches.begin(), matches.end(),
+                      [&](const T1Match& x) { return x.node == m.node; });
+      if (!dup) matches.push_back(m);
+    }
+    if (matches.size() < 2) continue;
+
+    T1Candidate cand;
+    cand.leaves = key.leaves;
+    cand.input_polarity = key.polarity;
+    cand.matches = std::move(matches);
+    cand.mffc = group_mffc(ntk, fanouts, drives_po, cand.leaves, cand.matches);
+    long mffc_area = 0;
+    for (const std::uint32_t v : cand.mffc) {
+      mffc_area += sfq::cell_area_jj(ntk.kind(v));
+    }
+    cand.gain = mffc_area - t1_area(cand.input_polarity, cand.matches);
+    candidates.push_back(std::move(cand));
+  }
+
+  // "Found": best profitable polarity variant per leaf set.
+  std::map<std::array<std::uint32_t, 3>, long> best_gain_per_leafset;
+  for (const T1Candidate& c : candidates) {
+    auto [it, inserted] = best_gain_per_leafset.emplace(c.leaves, c.gain);
+    if (!inserted) it->second = std::max(it->second, c.gain);
+  }
+  DetectResult result;
+  for (const auto& [leaves, gain] : best_gain_per_leafset) {
+    (void)leaves;
+    if (gain >= params.min_gain) ++result.found;
+  }
+
+  // Overlap resolution, greedy by gain.  Three node dispositions interact:
+  //   * interior MFFC nodes vanish — they may not be needed by anyone else;
+  //   * matched roots are *replaced by taps* — their signal survives, so
+  //     they may still serve as another group's leaf (this is exactly the
+  //     ripple-carry chain: bit i's MAJ3 root feeds bit i+1's T1 inputs);
+  //   * leaves must keep existing (not vanish as someone's interior node).
+  // Topological order of cuts guarantees the resulting tap-to-tap feeding
+  // is acyclic (leaves always precede roots).
+  std::sort(candidates.begin(), candidates.end(),
+            [](const T1Candidate& a, const T1Candidate& b) {
+              return a.gain != b.gain ? a.gain > b.gain : a.leaves < b.leaves;
+            });
+  std::vector<bool> claimed_interior(ntk.num_nodes(), false);
+  std::vector<bool> claimed_root(ntk.num_nodes(), false);
+  std::vector<bool> used_as_leaf(ntk.num_nodes(), false);
+  for (T1Candidate& cand : candidates) {
+    if (cand.gain < params.min_gain) break;  // sorted: the rest are worse
+    std::vector<bool> is_root(ntk.num_nodes(), false);
+    for (const T1Match& m : cand.matches) is_root[m.node] = true;
+
+    bool ok = true;
+    for (const std::uint32_t v : cand.mffc) {
+      if (claimed_interior[v] || claimed_root[v]) {
+        ok = false;  // node already removed or replaced elsewhere
+        break;
+      }
+      if (!is_root[v] && used_as_leaf[v]) {
+        ok = false;  // interior removal would kill another group's input
+        break;
+      }
+    }
+    for (const std::uint32_t l : cand.leaves) {
+      if (claimed_interior[l]) ok = false;  // input signal would vanish
+    }
+    if (!ok) continue;
+    for (const std::uint32_t v : cand.mffc) {
+      (is_root[v] ? claimed_root : claimed_interior)[v] = true;
+    }
+    for (const std::uint32_t l : cand.leaves) used_as_leaf[l] = true;
+    result.accepted.push_back(std::move(cand));
+  }
+  result.used = static_cast<int>(result.accepted.size());
+  return result;
+}
+
+}  // namespace t1map::t1

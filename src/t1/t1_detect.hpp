@@ -1,0 +1,82 @@
+/// \file t1_detect.hpp
+/// \brief T1-FF detection — paper §II-A.
+///
+/// Finds groups of cuts that share one 3-leaf set {a,b,c} and compute
+/// functions a T1 flip-flop can produce:
+///
+///   S  = XOR3(a,b,c)        C  = MAJ3(a,b,c)        Q  = OR3(a,b,c)
+///   C* → inverter = ¬MAJ3   Q* → inverter = ¬OR3
+///
+/// all considered under a shared *input polarity* (explicit inverters in
+/// front of the T1) — "considering possible input and output negations"
+/// (eq. 2).  A group of 2..5 matched roots is profitable when the area gain
+///
+///   ΔA = A(group MFFC) − A_T1(C)                                   (eq. 2)
+///
+/// is positive, where the group MFFC is every logic cell that becomes dead
+/// once all matched roots are replaced by T1 taps, and A_T1 adds the 29-JJ
+/// core plus one 9-JJ inverter per negated input / starred output used.
+/// Overlapping winners are resolved greedily by gain, yielding the paper's
+/// "T1 cells found" vs. "used" distinction.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "cut/cut_enum.hpp"
+#include "sfq/netlist.hpp"
+
+namespace t1map::t1 {
+
+/// The five logical outputs of an (extended) T1 cell.
+enum class T1Output : std::uint8_t { kS, kC, kQ, kCn, kQn };
+
+/// Tap cell kind realizing a T1 output.
+sfq::CellKind tap_kind(T1Output output);
+
+/// True for C*/Q*: outputs that pay for an attached inverter.
+bool output_is_negated(T1Output output);
+
+/// One matched root: this node's function over the group leaves equals the
+/// given T1 output (under the group's input polarity).
+struct T1Match {
+  std::uint32_t node;
+  T1Output output;
+};
+
+struct T1Candidate {
+  /// The T1 data inputs, ascending node ids.
+  std::array<std::uint32_t, 3> leaves;
+  /// Bit i set: leaf i feeds the T1 through an inverter.
+  std::uint8_t input_polarity = 0;
+  std::vector<T1Match> matches;
+  /// Nodes deleted by the replacement (matched roots + cells dead after).
+  std::vector<std::uint32_t> mffc;
+  /// eq. (2) in JJs; conservative (inverter sharing not credited).
+  long gain = 0;
+};
+
+struct DetectParams {
+  CutParams cuts{/*k=*/3, /*max_cuts=*/16};
+  /// Enumerate the 8 input polarities (otherwise only polarity 0).
+  bool allow_input_negation = true;
+  /// Minimum ΔA to accept (paper: ΔA > 0, i.e. 1).
+  long min_gain = 1;
+};
+
+struct DetectResult {
+  /// Non-overlapping candidates, decreasing gain — ready for rewriting.
+  std::vector<T1Candidate> accepted;
+  /// Profitable candidates before overlap resolution (Table I "found").
+  int found = 0;
+  /// accepted.size() (Table I "used").
+  int used = 0;
+};
+
+/// Runs detection on a mapped (T1-free) netlist.
+DetectResult detect_t1(const sfq::Netlist& ntk,
+                       const DetectParams& params = {});
+
+}  // namespace t1map::t1

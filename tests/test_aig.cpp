@@ -1,0 +1,146 @@
+// Unit tests for the AIG: construction invariants, structural hashing,
+// simulation, levels, cleanup.
+
+#include <gtest/gtest.h>
+
+#include "aig/aig.hpp"
+#include "aig/aig_sim.hpp"
+
+namespace t1map {
+namespace {
+
+TEST(Aig, ConstantFolding) {
+  Aig aig;
+  const Lit a = aig.create_pi();
+  EXPECT_EQ(aig.create_and(a, Aig::kConst0), Aig::kConst0);
+  EXPECT_EQ(aig.create_and(a, Aig::kConst1), a);
+  EXPECT_EQ(aig.create_and(a, a), a);
+  EXPECT_EQ(aig.create_and(a, lit_not(a)), Aig::kConst0);
+  EXPECT_EQ(aig.num_ands(), 0u);
+}
+
+TEST(Aig, StructuralHashing) {
+  Aig aig;
+  const Lit a = aig.create_pi();
+  const Lit b = aig.create_pi();
+  const Lit x = aig.create_and(a, b);
+  const Lit y = aig.create_and(b, a);  // commuted: same node
+  EXPECT_EQ(x, y);
+  EXPECT_EQ(aig.num_ands(), 1u);
+  const Lit z = aig.create_and(lit_not(a), b);  // different node
+  EXPECT_NE(x, z);
+  EXPECT_EQ(aig.num_ands(), 2u);
+}
+
+TEST(Aig, XorAndMajFunctions) {
+  Aig aig;
+  const Lit a = aig.create_pi();
+  const Lit b = aig.create_pi();
+  const Lit c = aig.create_pi();
+  aig.create_po(aig.create_xor3(a, b, c), "xor3");
+  aig.create_po(aig.create_maj3(a, b, c), "maj3");
+  aig.create_po(aig.create_or3(a, b, c), "or3");
+  aig.create_po(aig.create_ite(a, b, c), "ite");
+
+  const auto tts = exhaustive_po_tts(aig);
+  EXPECT_EQ(tts[0], tts::xor3());
+  EXPECT_EQ(tts[1], tts::maj3());
+  EXPECT_EQ(tts[2], tts::or3());
+  EXPECT_EQ(tts[3], (Tt::var(3, 0) & Tt::var(3, 1)) |
+                        (~Tt::var(3, 0) & Tt::var(3, 2)));
+}
+
+TEST(Aig, SimulationWithComplementedPo) {
+  Aig aig;
+  const Lit a = aig.create_pi();
+  const Lit b = aig.create_pi();
+  aig.create_po(lit_not(aig.create_and(a, b)), "nand");
+  const std::uint64_t words[] = {0b0101, 0b0011};
+  const auto out = simulate(aig, words);
+  // Patterns (a,b) = (1,1),(0,1),(1,0),(0,0) bit 0..3 -> NAND = 0,1,1,1.
+  EXPECT_EQ(out[0] & 0xFu, 0b1110u);
+}
+
+TEST(Aig, LevelsAndDepth) {
+  Aig aig;
+  const Lit a = aig.create_pi();
+  const Lit b = aig.create_pi();
+  const Lit c = aig.create_pi();
+  const Lit ab = aig.create_and(a, b);
+  const Lit abc = aig.create_and(ab, c);
+  aig.create_po(abc);
+  EXPECT_EQ(aig.depth(), 2);
+  const auto levels = aig.levels();
+  EXPECT_EQ(levels[lit_node(ab)], 1);
+  EXPECT_EQ(levels[lit_node(abc)], 2);
+}
+
+TEST(Aig, FanoutCounts) {
+  Aig aig;
+  const Lit a = aig.create_pi();
+  const Lit b = aig.create_pi();
+  const Lit x = aig.create_and(a, b);
+  aig.create_po(x);
+  aig.create_po(x);
+  const auto fanout = aig.fanout_counts();
+  EXPECT_EQ(fanout[lit_node(x)], 2u);
+  EXPECT_EQ(fanout[lit_node(a)], 1u);
+}
+
+TEST(Aig, CleanedRemovesDeadNodes) {
+  Aig aig;
+  const Lit a = aig.create_pi();
+  const Lit b = aig.create_pi();
+  const Lit used = aig.create_and(a, b);
+  aig.create_and(lit_not(a), lit_not(b));  // dead
+  aig.create_po(used);
+  EXPECT_EQ(aig.num_ands(), 2u);
+
+  const Aig clean = aig.cleaned();
+  EXPECT_EQ(clean.num_ands(), 1u);
+  EXPECT_EQ(clean.num_pis(), 2u);
+  EXPECT_EQ(clean.num_pos(), 1u);
+
+  // Function preserved.
+  const auto before = exhaustive_po_tts(aig);
+  const auto after = exhaustive_po_tts(clean);
+  EXPECT_EQ(before[0], after[0]);
+}
+
+TEST(Aig, CleanedPreservesComplementedAndConstPos) {
+  Aig aig;
+  const Lit a = aig.create_pi();
+  aig.create_po(lit_not(a), "na");
+  aig.create_po(Aig::kConst1, "one");
+  const Aig clean = aig.cleaned();
+  const auto tts = exhaustive_po_tts(clean);
+  EXPECT_EQ(tts[0], ~Tt::var(1, 0));
+  EXPECT_TRUE(tts[1].is_const1());
+}
+
+TEST(Aig, RandomSimulateDeterministic) {
+  Aig aig;
+  const Lit a = aig.create_pi();
+  const Lit b = aig.create_pi();
+  aig.create_po(aig.create_xor(a, b));
+  const auto r1 = random_simulate(aig, 3, 42);
+  const auto r2 = random_simulate(aig, 3, 42);
+  EXPECT_EQ(r1.po_words, r2.po_words);
+  const auto r3 = random_simulate(aig, 3, 43);
+  EXPECT_NE(r1.pi_words, r3.pi_words);
+}
+
+TEST(Aig, CutViewLocalTt) {
+  Aig aig;
+  const Lit a = aig.create_pi();
+  const Lit b = aig.create_pi();
+  const Lit x = aig.create_and(lit_not(a), b);
+  EXPECT_TRUE(aig.cut_is_leaf(lit_node(a)));
+  EXPECT_FALSE(aig.cut_is_leaf(lit_node(x)));
+  // Local tt reflects the complemented edge (var order = fanin order).
+  const Tt local = aig.cut_local_tt(lit_node(x));
+  EXPECT_EQ(local.count_ones(), 1);
+}
+
+}  // namespace
+}  // namespace t1map

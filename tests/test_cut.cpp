@@ -1,0 +1,158 @@
+// Cut enumeration tests: structural properties (leaf bounds, trivial cut,
+// dominance) and functional correctness of per-cut truth tables, verified
+// against node simulation.
+
+#include <gtest/gtest.h>
+
+#include "aig/aig.hpp"
+#include "aig/aig_sim.hpp"
+#include "cut/cut_enum.hpp"
+#include "common/rng.hpp"
+
+namespace t1map {
+namespace {
+
+TEST(CutEnum, MergeLeaves) {
+  std::vector<std::uint32_t> out;
+  EXPECT_TRUE(merge_leaves({1, 3}, {2, 3}, 3, out));
+  EXPECT_EQ(out, (std::vector<std::uint32_t>{1, 2, 3}));
+  EXPECT_FALSE(merge_leaves({1, 2}, {3, 4}, 3, out));
+  EXPECT_TRUE(merge_leaves({}, {5}, 3, out));
+  EXPECT_EQ(out, (std::vector<std::uint32_t>{5}));
+}
+
+TEST(CutEnum, LeavesSubset) {
+  EXPECT_TRUE(leaves_subset({1, 3}, {1, 2, 3}));
+  EXPECT_FALSE(leaves_subset({1, 4}, {1, 2, 3}));
+  EXPECT_TRUE(leaves_subset({}, {1}));
+  EXPECT_FALSE(leaves_subset({1, 2, 3}, {1, 2}));
+}
+
+TEST(CutEnum, FullAdderCutsFound) {
+  Aig aig;
+  const Lit a = aig.create_pi();
+  const Lit b = aig.create_pi();
+  const Lit c = aig.create_pi();
+  const Lit sum = aig.create_xor3(a, b, c);
+  const Lit carry = aig.create_maj3(a, b, c);
+  aig.create_po(sum);
+  aig.create_po(carry);
+
+  const auto cuts = enumerate_cuts(aig, CutParams{3, 16});
+
+  // The sum root must own a 3-leaf cut {a,b,c} computing XOR3, the carry
+  // root one computing MAJ3.
+  const std::vector<std::uint32_t> leaves = {lit_node(a), lit_node(b),
+                                             lit_node(c)};
+  bool found_xor3 = false;
+  for (const Cut& cut : cuts[lit_node(sum)]) {
+    if (cut.leaves == leaves) {
+      // PO may be complemented; function is over positive node polarity.
+      const Tt expect =
+          lit_is_complemented(sum) ? ~tts::xor3() : tts::xor3();
+      EXPECT_EQ(cut.tt, expect);
+      found_xor3 = true;
+    }
+  }
+  EXPECT_TRUE(found_xor3);
+
+  bool found_maj3 = false;
+  for (const Cut& cut : cuts[lit_node(carry)]) {
+    if (cut.leaves == leaves) {
+      const Tt expect =
+          lit_is_complemented(carry) ? ~tts::maj3() : tts::maj3();
+      EXPECT_EQ(cut.tt, expect);
+      found_maj3 = true;
+    }
+  }
+  EXPECT_TRUE(found_maj3);
+}
+
+TEST(CutEnum, TrivialCutAlwaysFirst) {
+  Aig aig;
+  const Lit a = aig.create_pi();
+  const Lit b = aig.create_pi();
+  const Lit x = aig.create_and(a, b);
+  aig.create_po(x);
+  const auto cuts = enumerate_cuts(aig);
+  for (std::uint32_t n = 0; n < aig.num_nodes(); ++n) {
+    ASSERT_FALSE(cuts[n].empty());
+    EXPECT_TRUE(cuts[n][0].is_trivial(n));
+  }
+}
+
+TEST(CutEnum, LeafCountBounded) {
+  Rng rng(5);
+  // Random 8-PI AIG.
+  Aig aig;
+  std::vector<Lit> sigs;
+  for (int i = 0; i < 8; ++i) sigs.push_back(aig.create_pi());
+  for (int i = 0; i < 60; ++i) {
+    const Lit x = sigs[rng.below(sigs.size())];
+    const Lit y = sigs[rng.below(sigs.size())];
+    Lit v = aig.create_and(lit_notif(x, rng.flip()), lit_notif(y, rng.flip()));
+    sigs.push_back(v);
+  }
+  aig.create_po(sigs.back());
+
+  for (const int k : {2, 3, 4}) {
+    const auto cuts = enumerate_cuts(aig, CutParams{k, 12});
+    for (std::uint32_t n = 0; n < aig.num_nodes(); ++n) {
+      for (const Cut& cut : cuts[n]) {
+        EXPECT_LE(cut.leaves.size(), static_cast<std::size_t>(k));
+        EXPECT_TRUE(std::is_sorted(cut.leaves.begin(), cut.leaves.end()));
+        EXPECT_EQ(cut.tt.num_vars(), static_cast<int>(cut.leaves.size()));
+      }
+      // Dominance: no retained cut's leaves are a strict subset of another's.
+      for (std::size_t i = 1; i < cuts[n].size(); ++i) {
+        for (std::size_t j = 1; j < cuts[n].size(); ++j) {
+          if (i == j) continue;
+          EXPECT_FALSE(cuts[n][i].leaves != cuts[n][j].leaves &&
+                       leaves_subset(cuts[n][i].leaves, cuts[n][j].leaves) &&
+                       i > j);
+        }
+      }
+    }
+  }
+}
+
+TEST(CutEnum, CutFunctionsMatchSimulation) {
+  // For every cut of every node: evaluating the cut tt on the leaves' value
+  // words must reproduce the node's value word.
+  Rng rng(17);
+  Aig aig;
+  std::vector<Lit> sigs;
+  for (int i = 0; i < 6; ++i) sigs.push_back(aig.create_pi());
+  for (int i = 0; i < 40; ++i) {
+    const Lit x = sigs[rng.below(sigs.size())];
+    const Lit y = sigs[rng.below(sigs.size())];
+    sigs.push_back(
+        aig.create_and(lit_notif(x, rng.flip()), lit_notif(y, rng.flip())));
+  }
+  aig.create_po(sigs.back());
+
+  std::vector<std::uint64_t> pi_words(aig.num_pis());
+  for (auto& w : pi_words) w = rng.next();
+  const auto value = simulate_nodes(aig, pi_words);
+
+  const auto cuts = enumerate_cuts(aig, CutParams{3, 16});
+  long checked = 0;
+  for (std::uint32_t n = 0; n < aig.num_nodes(); ++n) {
+    for (const Cut& cut : cuts[n]) {
+      if (cut.is_trivial(n)) continue;
+      for (int bit = 0; bit < 64; ++bit) {
+        std::uint64_t point = 0;
+        for (std::size_t l = 0; l < cut.leaves.size(); ++l) {
+          if ((value[cut.leaves[l]] >> bit) & 1u) point |= (1ull << l);
+        }
+        ASSERT_EQ(cut.tt.bit(point), ((value[n] >> bit) & 1u) != 0)
+            << "node " << n << " bit " << bit;
+      }
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 50);
+}
+
+}  // namespace
+}  // namespace t1map

@@ -1,0 +1,219 @@
+// Generator correctness: every benchmark circuit is verified against
+// reference integer / floating-point arithmetic by simulation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "aig/aig_sim.hpp"
+#include "common/rng.hpp"
+#include "gen/arith.hpp"
+#include "gen/cordic.hpp"
+#include "gen/iscas.hpp"
+#include "gen/log2.hpp"
+#include "gen/registry.hpp"
+#include "gen/voter.hpp"
+
+namespace t1map::gen {
+namespace {
+
+/// Drives the AIG with one scalar assignment per PI (64 copies) and returns
+/// the PO bits of lane 0.
+std::vector<bool> eval(const Aig& aig, const std::vector<bool>& pi_bits) {
+  std::vector<std::uint64_t> words(aig.num_pis());
+  for (std::uint32_t i = 0; i < aig.num_pis(); ++i) {
+    words[i] = pi_bits[i] ? ~0ull : 0ull;
+  }
+  const auto out = simulate(aig, words);
+  std::vector<bool> bits;
+  for (const std::uint64_t w : out) bits.push_back(w & 1u);
+  return bits;
+}
+
+std::vector<bool> to_bits(std::uint64_t value, int width) {
+  std::vector<bool> bits(width);
+  for (int i = 0; i < width; ++i) bits[i] = (value >> i) & 1u;
+  return bits;
+}
+
+std::uint64_t from_bits(const std::vector<bool>& bits, int lo, int count) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < count; ++i) {
+    if (bits[lo + i]) v |= (1ull << i);
+  }
+  return v;
+}
+
+class AdderWidths : public ::testing::TestWithParam<int> {};
+
+TEST_P(AdderWidths, MatchesReference) {
+  const int w = GetParam();
+  const Aig aig = ripple_adder(w);
+  EXPECT_EQ(aig.num_pis(), static_cast<std::uint32_t>(2 * w));
+  EXPECT_EQ(aig.num_pos(), static_cast<std::uint32_t>(w + 1));
+  Rng rng(w);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::uint64_t mask = w == 64 ? ~0ull : (1ull << w) - 1;
+    const std::uint64_t a = rng.next() & mask;
+    const std::uint64_t b = rng.next() & mask;
+    std::vector<bool> pis = to_bits(a, w);
+    const std::vector<bool> bb = to_bits(b, w);
+    pis.insert(pis.end(), bb.begin(), bb.end());
+    const auto out = eval(aig, pis);
+    const unsigned __int128 expect =
+        static_cast<unsigned __int128>(a) + b;
+    for (int i = 0; i <= w; ++i) {
+      ASSERT_EQ(out[i], static_cast<bool>((expect >> i) & 1))
+          << "w=" << w << " bit " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, AdderWidths,
+                         ::testing::Values(2, 3, 8, 16, 32, 64));
+
+class MultiplierWidths : public ::testing::TestWithParam<int> {};
+
+TEST_P(MultiplierWidths, MatchesReference) {
+  const int w = GetParam();
+  const Aig aig = array_multiplier(w);
+  Rng rng(w * 7);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::uint64_t mask = (1ull << w) - 1;
+    const std::uint64_t a = rng.next() & mask;
+    const std::uint64_t b = rng.next() & mask;
+    std::vector<bool> pis = to_bits(a, w);
+    const std::vector<bool> bb = to_bits(b, w);
+    pis.insert(pis.end(), bb.begin(), bb.end());
+    const auto out = eval(aig, pis);
+    const std::uint64_t expect = a * b;  // fits: 2w <= 64 for w <= 32
+    EXPECT_EQ(from_bits(out, 0, 2 * w), expect) << "w=" << w;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, MultiplierWidths,
+                         ::testing::Values(2, 3, 4, 8, 16));
+
+class SquarerWidths : public ::testing::TestWithParam<int> {};
+
+TEST_P(SquarerWidths, MatchesReference) {
+  const int w = GetParam();
+  const Aig aig = squarer(w);
+  Rng rng(w * 13);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::uint64_t a = rng.next() & ((1ull << w) - 1);
+    const auto out = eval(aig, to_bits(a, w));
+    EXPECT_EQ(from_bits(out, 0, 2 * w), a * a) << "w=" << w << " a=" << a;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, SquarerWidths,
+                         ::testing::Values(2, 3, 4, 8, 16));
+
+TEST(Voter, SmallExhaustive) {
+  const Aig aig = majority_voter(5);
+  for (std::uint32_t x = 0; x < 32; ++x) {
+    std::vector<bool> pis(5);
+    int pop = 0;
+    for (int i = 0; i < 5; ++i) {
+      pis[i] = (x >> i) & 1u;
+      pop += pis[i];
+    }
+    const auto out = eval(aig, pis);
+    EXPECT_EQ(out[0], pop >= 3) << "x=" << x;
+  }
+}
+
+TEST(Voter, LargeSpotChecks) {
+  const Aig aig = majority_voter(101);
+  Rng rng(4);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<bool> pis(101);
+    int pop = 0;
+    for (auto&& p : pis) {
+      const bool v = rng.flip();
+      p = v;
+      pop += v;
+    }
+    EXPECT_EQ(eval(aig, pis)[0], pop >= 51);
+  }
+  // Boundary: exactly 50 vs 51 ones.
+  for (const int ones : {50, 51}) {
+    std::vector<bool> pis(101, false);
+    for (int i = 0; i < ones; ++i) pis[i] = true;
+    EXPECT_EQ(eval(aig, pis)[0], ones >= 51);
+  }
+}
+
+TEST(AdderComparator, MatchesReference) {
+  const int w = 10;
+  const Aig aig = adder_comparator(w);
+  Rng rng(9);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::uint64_t mask = (1ull << w) - 1;
+    const std::uint64_t a = rng.next() & mask;
+    const std::uint64_t b = rng.next() & mask;
+    std::vector<bool> pis = to_bits(a, w);
+    const auto bb = to_bits(b, w);
+    pis.insert(pis.end(), bb.begin(), bb.end());
+    const auto out = eval(aig, pis);
+    EXPECT_EQ(from_bits(out, 0, w + 1), a + b);
+    EXPECT_EQ(out[w + 1], a >= b);
+    EXPECT_EQ(out[w + 2], __builtin_parityll(a) != 0);
+    EXPECT_EQ(out[w + 3], __builtin_parityll(b) != 0);
+  }
+}
+
+TEST(CordicSin, ApproximatesSine) {
+  const int w = 12;
+  const Aig aig = cordic_sin(w, 12);
+  for (const double frac : {0.0, 0.1, 0.25, 0.5, 0.7, 0.9, 0.999}) {
+    const std::uint64_t z = static_cast<std::uint64_t>(frac * (1 << w));
+    const auto out = eval(aig, to_bits(z, w));
+    const double got = static_cast<double>(from_bits(out, 0, w)) / (1 << w);
+    const double theta = (static_cast<double>(z) / (1 << w)) *
+                         (3.14159265358979323846 / 2.0);
+    EXPECT_NEAR(got, std::sin(theta), 0.01) << "frac=" << frac;
+  }
+}
+
+TEST(Log2Circuit, MatchesReference) {
+  const Aig aig = log2_circuit(16, 8, 6);
+  Rng rng(21);
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::uint64_t x = 1 + (rng.next() & 0xFFFE);
+    const auto out = eval(aig, to_bits(x, 16));
+    const double frac =
+        static_cast<double>(from_bits(out, 0, 6)) / 64.0;
+    const double integer = static_cast<double>(from_bits(out, 6, 4));
+    const double got = integer + frac;
+    const double expect = std::log2(static_cast<double>(x));
+    // Mantissa truncation to 8 bits costs accuracy; 2^-5 bound is ample.
+    EXPECT_NEAR(got, expect, 0.05) << "x=" << x;
+  }
+}
+
+TEST(Log2Circuit, ZeroInputGivesZero) {
+  const Aig aig = log2_circuit(16, 8, 6);
+  const auto out = eval(aig, to_bits(0, 16));
+  for (const bool bit : out) EXPECT_FALSE(bit);
+}
+
+TEST(Registry, AllTableNamesBuild) {
+  for (const std::string& name : table1_names()) {
+    EXPECT_NE(paper_row(name), nullptr) << name;
+  }
+  EXPECT_EQ(paper_row("adder")->t1_found, 127);
+  EXPECT_EQ(paper_row("nonexistent"), nullptr);
+  EXPECT_THROW(make_benchmark("nonexistent"), ContractError);
+  // Smoke-build the two smallest benchmarks here (the rest are exercised by
+  // the integration tests and benches).
+  const Aig c7552 = make_benchmark("c7552");
+  EXPECT_EQ(c7552.num_pis(), 68u);
+  const Aig c6288 = make_benchmark("c6288");
+  EXPECT_EQ(c6288.num_pis(), 32u);
+  EXPECT_EQ(c6288.num_pos(), 32u);
+}
+
+}  // namespace
+}  // namespace t1map::gen

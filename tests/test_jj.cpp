@@ -1,0 +1,156 @@
+// Analog engine tests: MNA transient solutions against closed-form RC/RL
+// responses, single-junction switching physics, and JTL pulse propagation.
+// (T1 cell behaviour is covered in test_jj_t1.cpp.)
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "jj/cells.hpp"
+#include "jj/circuit.hpp"
+#include "jj/transient.hpp"
+
+namespace t1map::jj {
+namespace {
+
+TEST(Transient, RcStepResponse) {
+  // Current step I into R || C: v(t) = I*R*(1 - exp(-t/RC)).
+  Circuit ckt;
+  const int n1 = ckt.add_node();
+  ckt.add_resistor(n1, 0, 2.0);
+  ckt.add_capacitor(n1, 0, 1e-12);
+  ckt.add_dc_current(0, n1, 1e-3);
+
+  TransientParams params;
+  params.dt = 0.01e-12;
+  params.t_stop = 10e-12;
+  const TransientResult result = simulate(ckt, params);
+  ASSERT_TRUE(result.converged);
+
+  const double tau = 2.0 * 1e-12;
+  for (std::size_t k = 100; k < result.time.size(); k += 100) {
+    const double t = result.time[k];
+    const double expect = 1e-3 * 2.0 * (1.0 - std::exp(-t / tau));
+    EXPECT_NEAR(result.node_voltage[k][n1], expect, 2e-5) << "t=" << t;
+  }
+}
+
+TEST(Transient, RlCurrentRamp) {
+  // Current step I into R in series L to ground... use: source I into node,
+  // inductor to ground: i_L(t) = I*(1 - exp(-tR/L)) with parallel R.
+  Circuit ckt;
+  const int n1 = ckt.add_node();
+  ckt.add_resistor(n1, 0, 5.0);
+  ckt.add_inductor(n1, 0, 10e-12);
+  ckt.add_dc_current(0, n1, 1e-3);
+
+  TransientParams params;
+  params.dt = 0.01e-12;
+  params.t_stop = 20e-12;
+  const TransientResult result = simulate(ckt, params);
+  ASSERT_TRUE(result.converged);
+
+  const double tau = 10e-12 / 5.0;
+  for (std::size_t k = 200; k < result.time.size(); k += 200) {
+    const double t = result.time[k];
+    const double expect = 1e-3 * (1.0 - std::exp(-t / tau));
+    EXPECT_NEAR(result.inductor_current[k][0], expect, 2e-5) << "t=" << t;
+  }
+}
+
+TEST(Transient, JunctionSubcriticalStaysSuper) {
+  // DC bias below Ic: phase settles at asin(I/Ic), no voltage, no pulses.
+  Circuit ckt;
+  const int n1 = ckt.add_node();
+  const JjParams jj;
+  const int j = ckt.add_jj(n1, 0, jj);
+  ckt.add_dc_current(0, n1, 0.5 * jj.ic);
+
+  TransientParams params;
+  params.t_stop = 100e-12;
+  const TransientResult result = simulate(ckt, params);
+  ASSERT_TRUE(result.converged);
+  EXPECT_TRUE(result.jj_pulse_times[j].empty());
+  const double final_phase = result.jj_phase.back()[j];
+  EXPECT_NEAR(std::sin(final_phase), 0.5, 0.02);
+  // Voltage ~ 0 at the end.
+  EXPECT_NEAR(result.node_voltage.back()[n1], 0.0, 1e-6);
+}
+
+TEST(Transient, JunctionOvercriticalRunsAtJosephsonFrequency) {
+  // DC bias above Ic: junction enters the voltage state; the mean voltage
+  // must satisfy f = V/Phi0 pulse rate.
+  Circuit ckt;
+  const int n1 = ckt.add_node();
+  const JjParams jj;
+  const int j = ckt.add_jj(n1, 0, jj);
+  ckt.add_dc_current(0, n1, 1.5 * jj.ic);
+
+  TransientParams params;
+  params.t_stop = 200e-12;
+  params.dt = 0.02e-12;
+  const TransientResult result = simulate(ckt, params);
+  ASSERT_TRUE(result.converged);
+  const std::size_t pulses = result.jj_pulse_times[j].size();
+  EXPECT_GT(pulses, 10u);
+
+  // Average voltage from phase slope: V = Phi0 * (dphi/2pi) / dt.
+  const double phi_total = result.jj_phase.back()[j];
+  const double v_avg = kPhi0 * phi_total / (2 * 3.14159265358979) / 200e-12;
+  // RSJ theory: V = Ic*Rn*sqrt((I/Ic)^2 - 1) for the strongly damped limit;
+  // with betac ~ 1 we accept 25% tolerance.
+  const double v_theory = jj.ic * jj.rn * std::sqrt(1.5 * 1.5 - 1.0);
+  EXPECT_NEAR(v_avg, v_theory, 0.25 * v_theory);
+  // Pulse count == phase advance / 2pi (within one).
+  EXPECT_NEAR(static_cast<double>(pulses),
+              phi_total / (2 * 3.14159265358979), 1.5);
+}
+
+TEST(Jtl, PropagatesSinglePulsePerInput) {
+  Circuit ckt;
+  const JtlHandle jtl = make_jtl(ckt, 4);
+  PulseTrain train;
+  train.times = {20e-12, 60e-12, 100e-12};
+  ckt.add_pulse_current(0, jtl.input, train);
+
+  TransientParams params;
+  params.t_stop = 140e-12;
+  params.dt = 0.05e-12;
+  const TransientResult result = simulate(ckt, params);
+  ASSERT_TRUE(result.converged);
+
+  // Every stage fires exactly once per input pulse, and never spuriously.
+  for (const int j : jtl.jjs) {
+    EXPECT_EQ(result.jj_pulse_times[j].size(), 3u) << "junction " << j;
+    EXPECT_EQ(result.pulses_in_window(j, 0, 20e-12), 0);
+    EXPECT_EQ(result.pulses_in_window(j, 20e-12, 60e-12), 1);
+    EXPECT_EQ(result.pulses_in_window(j, 60e-12, 100e-12), 1);
+    EXPECT_EQ(result.pulses_in_window(j, 100e-12, 140e-12), 1);
+  }
+
+  // Causality: the last stage fires after the first.
+  EXPECT_GT(result.jj_pulse_times[jtl.jjs.back()][0],
+            result.jj_pulse_times[jtl.jjs.front()][0]);
+}
+
+TEST(Jtl, NoInputNoOutput) {
+  Circuit ckt;
+  const JtlHandle jtl = make_jtl(ckt, 3);
+  TransientParams params;
+  params.t_stop = 100e-12;
+  const TransientResult result = simulate(ckt, params);
+  ASSERT_TRUE(result.converged);
+  for (const int j : jtl.jjs) {
+    EXPECT_TRUE(result.jj_pulse_times[j].empty());
+  }
+}
+
+TEST(PulseShape, RaisedCosineProperties) {
+  EXPECT_DOUBLE_EQ(pulse_shape(10e-12, 10e-12, 4e-12, 1e-3), 1e-3);
+  EXPECT_DOUBLE_EQ(pulse_shape(0, 10e-12, 4e-12, 1e-3), 0.0);
+  EXPECT_GT(pulse_shape(9e-12, 10e-12, 4e-12, 1e-3), 0.0);
+  EXPECT_EQ(pulse_shape(12.1e-12, 10e-12, 4e-12, 1e-3), 0.0);
+}
+
+}  // namespace
+}  // namespace t1map::jj

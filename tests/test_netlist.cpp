@@ -1,0 +1,148 @@
+// SFQ netlist tests: cell metadata, structural contracts, simulation
+// semantics of every cell kind, area/splitter accounting.
+
+#include <gtest/gtest.h>
+
+#include "sfq/netlist.hpp"
+
+namespace t1map::sfq {
+namespace {
+
+TEST(Cells, MetadataConsistency) {
+  for (int i = 0; i < kNumCellKinds; ++i) {
+    const CellKind k = static_cast<CellKind>(i);
+    EXPECT_FALSE(cell_name(k).empty());
+    EXPECT_GE(cell_area_jj(k), 0);
+    EXPECT_GE(cell_fanin_count(k), 0);
+    EXPECT_LE(cell_fanin_count(k), 3);
+  }
+  // The paper's headline areas.
+  EXPECT_EQ(cell_area_jj(CellKind::kT1), 29);
+  // Conventional FA = XOR3 + MAJ3; T1 is 40% of it (abstract: "only 40% of
+  // the area required by the conventional realization").
+  const int fa = cell_area_jj(CellKind::kXor3) + cell_area_jj(CellKind::kMaj3);
+  EXPECT_NEAR(29.0 / fa, 0.40, 0.005);
+  EXPECT_EQ(cell_area_jj(CellKind::kDff), 7);
+  EXPECT_EQ(kSplitterAreaJj, 3);
+}
+
+TEST(Cells, TapFunctions) {
+  EXPECT_EQ(cell_tt(CellKind::kT1TapS), tts::xor3());
+  EXPECT_EQ(cell_tt(CellKind::kT1TapC), tts::maj3());
+  EXPECT_EQ(cell_tt(CellKind::kT1TapQ), tts::or3());
+  EXPECT_EQ(cell_tt(CellKind::kT1TapCn), ~tts::maj3());
+  EXPECT_EQ(cell_tt(CellKind::kT1TapQn), ~tts::or3());
+}
+
+TEST(Netlist, SimulateEveryLogicKind) {
+  Netlist n;
+  const auto a = n.add_pi("a");
+  const auto b = n.add_pi("b");
+  const auto c = n.add_pi("c");
+  const auto check = [&](std::uint32_t id, const Tt& expect3) {
+    // Simulate with projection words so the node word is the tt bits.
+    const std::uint64_t words[] = {Tt::var(3, 0).bits(), Tt::var(3, 1).bits(),
+                                   Tt::var(3, 2).bits()};
+    const auto value = n.simulate_nodes(words);
+    EXPECT_EQ(value[id] & 0xFF, expect3.bits()) << cell_name(n.kind(id));
+  };
+
+  check(n.add_cell(CellKind::kNot, {a}), ~Tt::var(3, 0));
+  check(n.add_cell(CellKind::kBuf, {b}), Tt::var(3, 1));
+  check(n.add_cell(CellKind::kAnd2, {a, b}), Tt::var(3, 0) & Tt::var(3, 1));
+  check(n.add_cell(CellKind::kOr2, {a, c}), Tt::var(3, 0) | Tt::var(3, 2));
+  check(n.add_cell(CellKind::kXor2, {b, c}), Tt::var(3, 1) ^ Tt::var(3, 2));
+  check(n.add_cell(CellKind::kAnd3, {a, b, c}),
+        Tt::var(3, 0) & Tt::var(3, 1) & Tt::var(3, 2));
+  check(n.add_cell(CellKind::kOr3, {a, b, c}), tts::or3());
+  check(n.add_cell(CellKind::kXor3, {a, b, c}), tts::xor3());
+  check(n.add_cell(CellKind::kMaj3, {a, b, c}), tts::maj3());
+
+  const auto t1 = n.add_t1(a, b, c);
+  check(n.add_t1_tap(t1, CellKind::kT1TapS), tts::xor3());
+  check(n.add_t1_tap(t1, CellKind::kT1TapC), tts::maj3());
+  check(n.add_t1_tap(t1, CellKind::kT1TapQ), tts::or3());
+  check(n.add_t1_tap(t1, CellKind::kT1TapCn), ~tts::maj3());
+  check(n.add_t1_tap(t1, CellKind::kT1TapQn), ~tts::or3());
+}
+
+TEST(Netlist, StructuralContracts) {
+  Netlist n;
+  const auto a = n.add_pi();
+  const auto b = n.add_pi();
+  const auto c = n.add_pi();
+  const auto t1 = n.add_t1(a, b, c);
+
+  // T1 cores may only be read through taps.
+  EXPECT_THROW(n.add_cell(CellKind::kNot, {t1}), ContractError);
+  EXPECT_THROW(n.add_po(t1), ContractError);
+  EXPECT_THROW(n.add_t1(a, b, t1), ContractError);
+  // Distinct data inputs required.
+  EXPECT_THROW(n.add_t1(a, a, b), ContractError);
+  // Constants are not pulse signals.
+  const auto zero = n.add_const(false);
+  EXPECT_THROW(n.add_t1(a, b, zero), ContractError);
+  // Duplicate taps rejected.
+  n.add_t1_tap(t1, CellKind::kT1TapS);
+  EXPECT_THROW(n.add_t1_tap(t1, CellKind::kT1TapS), ContractError);
+  // Wrong fanin count.
+  EXPECT_THROW(n.add_cell(CellKind::kAnd2, {a}), ContractError);
+
+  n.check_well_formed();
+}
+
+TEST(Netlist, SplitterAndAreaAccounting) {
+  Netlist n;
+  const auto a = n.add_pi();
+  const auto b = n.add_pi();
+  const auto x = n.add_cell(CellKind::kAnd2, {a, b});
+  const auto y = n.add_cell(CellKind::kNot, {x});
+  const auto z = n.add_cell(CellKind::kOr2, {x, y});
+  n.add_po(z);
+  n.add_po(z);
+
+  // Fanouts: a:1 b:1 x:2 y:1 z:2 -> splitters: (x)1 + (z)1 = 2.
+  EXPECT_EQ(n.splitter_count(), 2);
+  const long expected_area = cell_area_jj(CellKind::kAnd2) +
+                             cell_area_jj(CellKind::kNot) +
+                             cell_area_jj(CellKind::kOr2) +
+                             2 * kSplitterAreaJj;
+  EXPECT_EQ(n.cell_area_jj_total(), expected_area);
+}
+
+TEST(Netlist, T1CoreNeedsNoSplitters) {
+  Netlist n;
+  const auto a = n.add_pi();
+  const auto b = n.add_pi();
+  const auto c = n.add_pi();
+  const auto t1 = n.add_t1(a, b, c);
+  const auto s = n.add_t1_tap(t1, CellKind::kT1TapS);
+  const auto cc = n.add_t1_tap(t1, CellKind::kT1TapC);
+  n.add_po(s);
+  n.add_po(cc);
+  // The core has 2 tap "fanouts" but they are physical pins: no splitters.
+  EXPECT_EQ(n.splitter_count(), 0);
+  // Starred taps pay their inverter; plain taps are free.
+  Netlist m;
+  const auto ma = m.add_pi();
+  const auto mb = m.add_pi();
+  const auto mc = m.add_pi();
+  const auto mt = m.add_t1(ma, mb, mc);
+  m.add_po(m.add_t1_tap(mt, CellKind::kT1TapCn));
+  EXPECT_EQ(m.cell_area_jj_total(), kT1AreaJj + 9);
+}
+
+TEST(Netlist, CountKind) {
+  Netlist n;
+  const auto a = n.add_pi();
+  const auto b = n.add_pi();
+  n.add_cell(CellKind::kAnd2, {a, b});
+  n.add_cell(CellKind::kAnd2, {a, b});
+  n.add_cell(CellKind::kXor2, {a, b});
+  EXPECT_EQ(n.count_kind(CellKind::kAnd2), 2u);
+  EXPECT_EQ(n.count_kind(CellKind::kXor2), 1u);
+  EXPECT_EQ(n.num_t1(), 0u);
+}
+
+}  // namespace
+}  // namespace t1map::sfq

@@ -1,0 +1,254 @@
+// Retiming tests: stage assignment legality and optimality on hand-checked
+// netlists, T1 constraints (paper eqs. 3-5), DFF counting vs. the closed
+// form, materialization consistency, and the independent timing validator.
+
+#include <gtest/gtest.h>
+
+#include "retime/dff_insert.hpp"
+#include "retime/stage_assign.hpp"
+#include "retime/timing_check.hpp"
+#include "sfq/netlist.hpp"
+
+namespace t1map::retime {
+namespace {
+
+using sfq::CellKind;
+using sfq::Netlist;
+
+/// a->x->y->po chain plus a short path a->z->po2 to force balancing.
+Netlist make_unbalanced() {
+  Netlist n;
+  const auto a = n.add_pi();
+  const auto b = n.add_pi();
+  const auto x = n.add_cell(CellKind::kAnd2, {a, b});
+  const auto y = n.add_cell(CellKind::kNot, {x});
+  const auto z = n.add_cell(CellKind::kOr2, {y, a});
+  n.add_po(z);
+  return n;
+}
+
+TEST(StageAssign, SinglePhaseIsFullPathBalancing) {
+  const Netlist n = make_unbalanced();
+  const StageAssignment sa =
+      assign_stages(n, StageParams{1, /*optimize=*/false});
+  EXPECT_TRUE(assignment_is_legal(n, sa));
+  // Nodes: a,b at 0; AND2 at 1; NOT at 2; OR2 at 3; sigma_po = 4.
+  EXPECT_EQ(sa.sigma_po, 4);
+  // Edge a->OR2 spans 3 stages -> 2 DFFs; b/a->AND2 0; x->NOT 0; NOT->OR 0;
+  // OR->po 0.  With 1 phase every gap-1 edge is free, a's chain needs
+  // max(ceil(3/1)-1, ceil(1/1)-1) = 2.
+  const DffCount count = count_dffs(n, sa);
+  EXPECT_EQ(count.total(), 2);
+}
+
+TEST(StageAssign, FourPhasesRemoveShortChainDffs) {
+  const Netlist n = make_unbalanced();
+  const StageAssignment sa =
+      assign_stages(n, StageParams{4, /*optimize=*/false});
+  EXPECT_TRUE(assignment_is_legal(n, sa));
+  // All gaps <= 4: zero DFFs.
+  EXPECT_EQ(count_dffs(n, sa).total(), 0);
+}
+
+TEST(StageAssign, OptimizeReducesDffs) {
+  // Multiphase slack: gate g (ASAP stage 1) feeds a consumer at stage 10.
+  // With n=4, ASAP costs ceil(9/4)-1 = 2 chain DFFs; moving g to stage 2-4
+  // keeps the PI edge free and shrinks the chain to 1.
+  Netlist n;
+  const auto a = n.add_pi();
+  const auto g = n.add_cell(CellKind::kNot, {a});
+  std::uint32_t t = a;
+  for (int i = 0; i < 9; ++i) t = n.add_cell(CellKind::kNot, {t});
+  const auto w = n.add_cell(CellKind::kAnd2, {g, t});
+  n.add_po(w);
+
+  const StageAssignment asap = assign_stages(n, StageParams{4, false});
+  EXPECT_EQ(count_dffs(n, asap).total(), 2);
+  const StageAssignment opt = assign_stages(n, StageParams{4, true});
+  EXPECT_TRUE(assignment_is_legal(n, opt));
+  EXPECT_EQ(count_dffs(n, opt).total(), 1);
+  // Depth must be preserved by optimization.
+  EXPECT_EQ(opt.sigma_po, asap.sigma_po);
+}
+
+TEST(StageAssign, SharedChainCountsOnceMaxOverFanouts) {
+  // One driver, consumers at stages 2 and 5 (1 phase): chain of max(1,4)=4.
+  Netlist n;
+  const auto a = n.add_pi();
+  const auto b = n.add_pi();
+  const auto x = n.add_cell(CellKind::kAnd2, {a, b});
+  auto c1 = n.add_cell(CellKind::kNot, {x});
+  const auto deep1 = n.add_cell(CellKind::kNot, {c1});
+  const auto deep2 = n.add_cell(CellKind::kNot, {deep1});
+  const auto deep3 = n.add_cell(CellKind::kNot, {deep2});
+  const auto join = n.add_cell(CellKind::kAnd2, {x, deep3});
+  n.add_po(join);
+
+  const StageAssignment sa = assign_stages(n, StageParams{1, false});
+  // x at 1; NOT chain 2,3,4,5; join at 6.  x's consumers: c1 (2) and join
+  // (6): shared chain = ceil(5/1)-1 = 4 DFFs.  Other edges adjacent.
+  const DffCount count = count_dffs(n, sa);
+  EXPECT_EQ(count.regular, 4);
+}
+
+TEST(T1Constraints, MinStageMatchesEq3) {
+  // σ_T1 >= max(σ(i1)+3, σ(i2)+2, σ(i3)+1), fanins sorted ascending.
+  EXPECT_EQ(t1_min_stage({0, 0, 0}), 3);
+  EXPECT_EQ(t1_min_stage({0, 1, 2}), 3);
+  EXPECT_EQ(t1_min_stage({5, 1, 3}), 6);  // sorted 1,3,5: max(4,5,6)
+  EXPECT_EQ(t1_min_stage({1, 3, 5}), 6);  // order-insensitive
+  EXPECT_EQ(t1_min_stage({4, 4, 4}), 7);  // 4+3
+  EXPECT_EQ(t1_min_stage({0, 4, 4}), 6);  // max(0+3, 4+2, 4+1)
+}
+
+TEST(T1Constraints, ReleaseSolverDistinctWindow) {
+  // Producers all at 0, T1 at 3, n=4: window [-1..2] -> releases {0,1,2}
+  // with costs 0,1,1 -> 2 DFFs.
+  const T1Releases r = solve_t1_releases({0, 0, 0}, 3, 4);
+  EXPECT_EQ(r.dffs, 2);
+  std::array<int, 3> rel = r.release;
+  std::sort(rel.begin(), rel.end());
+  EXPECT_EQ(rel[0], 0);
+  EXPECT_EQ(rel[1], 1);
+  EXPECT_EQ(rel[2], 2);
+}
+
+TEST(T1Constraints, ReleaseSolverFreeWhenStagesDistinct) {
+  // Producers at 1,2,3, T1 at 4, n=4: direct releases are distinct: free.
+  const T1Releases r = solve_t1_releases({1, 2, 3}, 4, 4);
+  EXPECT_EQ(r.dffs, 0);
+  EXPECT_EQ(r.release[0], 1);
+  EXPECT_EQ(r.release[1], 2);
+  EXPECT_EQ(r.release[2], 3);
+}
+
+TEST(T1Constraints, ReleaseSolverFarProducerUsesWindow) {
+  // Producer far in the past must be re-released inside [σ-n, σ-1].
+  const T1Releases r = solve_t1_releases({0, 10, 11}, 12, 4);
+  EXPECT_GE(r.release[0], 12 - 4);
+  EXPECT_LE(r.release[0], 11);
+  // Chain from 0 to r0: ceil(r0/4) = 2 DFFs minimum.
+  EXPECT_EQ(r.dffs, 2);
+}
+
+TEST(T1Constraints, InfeasibleThrows) {
+  // σ_T1 = 2 violates eq. (3) for three stage-0 producers.
+  EXPECT_THROW(solve_t1_releases({0, 0, 0}, 2, 4), ContractError);
+}
+
+TEST(T1Constraints, NetlistWithT1RequiresThreePhases) {
+  Netlist n;
+  const auto a = n.add_pi();
+  const auto b = n.add_pi();
+  const auto c = n.add_pi();
+  const auto t1 = n.add_t1(a, b, c);
+  n.add_po(n.add_t1_tap(t1, CellKind::kT1TapS));
+  EXPECT_THROW(assign_stages(n, StageParams{2, false}), ContractError);
+  const StageAssignment sa = assign_stages(n, StageParams{4, false});
+  EXPECT_TRUE(assignment_is_legal(n, sa));
+  EXPECT_GE(sa.sigma[t1], 3);  // eq. (3) with PIs at 0
+}
+
+TEST(Materialize, DffCountMatchesClosedForm) {
+  const Netlist n = make_unbalanced();
+  for (const int phases : {1, 2, 4}) {
+    const StageAssignment sa = assign_stages(n, StageParams{phases, true});
+    const MaterializeResult mat = insert_dffs(n, sa);
+    EXPECT_EQ(mat.num_dffs, count_dffs(n, sa).total()) << phases;
+    EXPECT_EQ(mat.netlist.count_kind(CellKind::kDff),
+              static_cast<std::uint32_t>(mat.num_dffs));
+    const TimingReport report = check_timing(mat.netlist, mat.stages);
+    EXPECT_TRUE(report.ok) << (report.violations.empty()
+                                   ? ""
+                                   : report.violations[0]);
+  }
+}
+
+TEST(Materialize, T1EdgesGetDistinctArrivals) {
+  Netlist n;
+  const auto a = n.add_pi();
+  const auto b = n.add_pi();
+  const auto c = n.add_pi();
+  const auto t1 = n.add_t1(a, b, c);
+  const auto s = n.add_t1_tap(t1, CellKind::kT1TapS);
+  n.add_po(s);
+
+  const StageAssignment sa = assign_stages(n, StageParams{4, false});
+  const MaterializeResult mat = insert_dffs(n, sa);
+  const TimingReport report = check_timing(mat.netlist, mat.stages);
+  EXPECT_TRUE(report.ok) << (report.violations.empty()
+                                 ? ""
+                                 : report.violations[0]);
+  // All three producers at 0: exactly 2 extra DFFs (releases 0,1,2).
+  EXPECT_EQ(mat.num_dffs, 2);
+}
+
+TEST(TimingCheck, CatchesViolations) {
+  Netlist n;
+  const auto a = n.add_pi();
+  const auto x = n.add_cell(CellKind::kNot, {a});
+  n.add_po(x);
+  StageAssignment sa;
+  sa.num_phases = 2;
+  sa.sigma = {0, 0};  // NOT at stage 0: illegal (gap 0)
+  sa.sigma_po = 1;
+  EXPECT_FALSE(check_timing(n, sa).ok);
+
+  sa.sigma = {0, 1};
+  sa.sigma_po = 2;
+  EXPECT_TRUE(check_timing(n, sa).ok);
+
+  // Gap beyond one cycle without a DFF.
+  sa.sigma = {0, 5};
+  sa.sigma_po = 6;
+  EXPECT_FALSE(check_timing(n, sa).ok);
+}
+
+TEST(TimingCheck, CatchesT1ArrivalCollision) {
+  Netlist n;
+  const auto a = n.add_pi();
+  const auto b = n.add_pi();
+  const auto na = n.add_cell(CellKind::kNot, {a});
+  const auto nb = n.add_cell(CellKind::kNot, {b});
+  const auto nc = n.add_cell(CellKind::kNot, {na});
+  const auto t1 = n.add_t1(na, nb, nc);
+  n.add_po(n.add_t1_tap(t1, CellKind::kT1TapS));
+
+  StageAssignment sa;
+  sa.num_phases = 4;
+  sa.sigma.assign(n.num_nodes(), 0);
+  sa.sigma[na] = 1;
+  sa.sigma[nb] = 1;  // collides with na
+  sa.sigma[nc] = 2;
+  sa.sigma[t1] = 4;
+  sa.sigma[t1 + 1] = 4;  // tap
+  sa.sigma_po = 5;
+  EXPECT_FALSE(check_timing(n, sa).ok);
+
+  sa.sigma[nb] = 3;  // distinct now
+  EXPECT_TRUE(check_timing(n, sa).ok);
+}
+
+TEST(Materialize, FunctionPreserved) {
+  const Netlist n = make_unbalanced();
+  const StageAssignment sa = assign_stages(n, StageParams{1, true});
+  const MaterializeResult mat = insert_dffs(n, sa);
+  // DFFs are identity: simulation results must match the original netlist.
+  const std::uint64_t words[] = {0xF0F0F0F0F0F0F0F0ull,
+                                 0xCCCCCCCCCCCCCCCCull};
+  EXPECT_EQ(n.simulate(words), mat.netlist.simulate(words));
+}
+
+TEST(Depth, CyclesIsCeilStagesOverPhases) {
+  StageAssignment sa;
+  sa.num_phases = 4;
+  sa.sigma_po = 129;
+  EXPECT_EQ(sa.depth_cycles(), 33);
+  sa.sigma_po = 128;
+  EXPECT_EQ(sa.depth_cycles(), 32);
+  sa.num_phases = 1;
+  EXPECT_EQ(sa.depth_cycles(), 128);
+}
+
+}  // namespace
+}  // namespace t1map::retime

@@ -1,0 +1,150 @@
+// Unit tests for the truth-table module: operators, cofactors, polarity,
+// remapping and composition, cross-checked against direct enumeration.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "tt/truth_table.hpp"
+
+namespace t1map {
+namespace {
+
+TEST(Tt, ConstantsAndProjections) {
+  EXPECT_TRUE(Tt::zeros(3).is_const0());
+  EXPECT_TRUE(Tt::ones(3).is_const1());
+  EXPECT_EQ(Tt::ones(3).count_ones(), 8);
+  for (int n = 1; n <= 6; ++n) {
+    for (int v = 0; v < n; ++v) {
+      const Tt proj = Tt::var(n, v);
+      for (std::uint64_t i = 0; i < proj.num_bits(); ++i) {
+        EXPECT_EQ(proj.bit(i), ((i >> v) & 1u) != 0);
+      }
+    }
+  }
+}
+
+TEST(Tt, BitwiseOperatorsMatchEnumeration) {
+  const Tt a = Tt::var(3, 0);
+  const Tt b = Tt::var(3, 1);
+  const Tt c = Tt::var(3, 2);
+  const Tt f = (a & b) | (~a & c);
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    const bool av = (i >> 0) & 1, bv = (i >> 1) & 1, cv = (i >> 2) & 1;
+    EXPECT_EQ(f.bit(i), (av && bv) || (!av && cv));
+  }
+}
+
+TEST(Tt, NamedFunctions) {
+  EXPECT_EQ(tts::xor3(), Tt::var(3, 0) ^ Tt::var(3, 1) ^ Tt::var(3, 2));
+  EXPECT_EQ(tts::maj3(), (Tt::var(3, 0) & Tt::var(3, 1)) |
+                             (Tt::var(3, 0) & Tt::var(3, 2)) |
+                             (Tt::var(3, 1) & Tt::var(3, 2)));
+  EXPECT_EQ(tts::or3(), Tt::var(3, 0) | Tt::var(3, 1) | Tt::var(3, 2));
+  EXPECT_EQ(tts::and2().count_ones(), 1);
+  EXPECT_EQ(tts::xor2().count_ones(), 2);
+}
+
+TEST(Tt, CofactorsAndSupport) {
+  const Tt f = tts::maj3();
+  EXPECT_EQ(f.cofactor1(0), Tt::var(3, 1) | Tt::var(3, 2));
+  EXPECT_EQ(f.cofactor0(0), Tt::var(3, 1) & Tt::var(3, 2));
+  EXPECT_EQ(f.support_mask(), 0b111u);
+
+  const Tt g = Tt::var(3, 1);  // depends only on var 1
+  EXPECT_EQ(g.support_mask(), 0b010u);
+  EXPECT_FALSE(g.depends_on(0));
+  EXPECT_TRUE(g.depends_on(1));
+}
+
+TEST(Tt, FlipVarInvolution) {
+  Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Tt f(3, rng.next() & 0xFF);
+    for (int v = 0; v < 3; ++v) {
+      EXPECT_EQ(f.flip_var(v).flip_var(v), f);
+    }
+  }
+}
+
+TEST(Tt, FlipVarSemantics) {
+  const Tt f = tts::and2();  // a & b
+  const Tt g = f.flip_var(0);  // !a & b
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    const bool av = i & 1, bv = (i >> 1) & 1;
+    EXPECT_EQ(g.bit(i), (!av && bv));
+  }
+}
+
+TEST(Tt, PolarityOnSymmetricFunctions) {
+  // XOR3 under any polarity is XOR3 or its complement (parity of flips).
+  for (std::uint32_t p = 0; p < 8; ++p) {
+    const Tt f = tts::xor3().apply_polarity(p);
+    if (__builtin_popcount(p) % 2 == 0) {
+      EXPECT_EQ(f, tts::xor3());
+    } else {
+      EXPECT_EQ(f, ~tts::xor3());
+    }
+  }
+  // MAJ3 with all inputs flipped is the complement.
+  EXPECT_EQ(tts::maj3().apply_polarity(0b111), ~tts::maj3());
+}
+
+TEST(Tt, SwapVars) {
+  const Tt f = Tt::var(3, 0) & ~Tt::var(3, 2);  // a & !c
+  const Tt g = f.swap_vars(0, 2);               // c & !a
+  EXPECT_EQ(g, Tt::var(3, 2) & ~Tt::var(3, 0));
+  EXPECT_EQ(f.swap_vars(1, 1), f);
+}
+
+TEST(Tt, RemapIntoLargerSpace) {
+  // f(a,b) = a&b remapped to vars {2,0} of a 3-space: x2 & x0.
+  const int where[] = {2, 0};
+  const Tt f = tts::and2().remap(3, where);
+  EXPECT_EQ(f, Tt::var(3, 2) & Tt::var(3, 0));
+}
+
+TEST(Tt, ExpandToLeaves) {
+  // tt over leaves {10, 30} expanded into {10, 20, 30}.
+  const std::uint32_t from[] = {10, 30};
+  const std::uint32_t to[] = {10, 20, 30};
+  const Tt f = expand_to_leaves(tts::xor2(), from, to);
+  EXPECT_EQ(f, Tt::var(3, 0) ^ Tt::var(3, 2));
+}
+
+TEST(Tt, ComposeFullAdder) {
+  // sum = XOR2(XOR2(a,b), c) composed over 3 leaves equals XOR3.
+  const Tt ab = Tt::var(3, 0) ^ Tt::var(3, 1);
+  const Tt c = Tt::var(3, 2);
+  const Tt fanins[] = {ab, c};
+  EXPECT_EQ(compose(tts::xor2(), fanins), tts::xor3());
+}
+
+TEST(Tt, ComposeRandomAgainstPointwise) {
+  Rng rng(99);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Tt local(2, rng.next() & 0xF);
+    const Tt f0(3, rng.next() & 0xFF);
+    const Tt f1(3, rng.next() & 0xFF);
+    const Tt fanins[] = {f0, f1};
+    const Tt got = compose(local, fanins);
+    for (std::uint64_t i = 0; i < 8; ++i) {
+      const std::uint64_t point =
+          (f0.bit(i) ? 1u : 0u) | (f1.bit(i) ? 2u : 0u);
+      EXPECT_EQ(got.bit(i), local.bit(point));
+    }
+  }
+}
+
+TEST(Tt, ContractViolations) {
+  EXPECT_THROW(Tt(7, 0), ContractError);
+  EXPECT_THROW(Tt::var(3, 3), ContractError);
+  EXPECT_THROW(tts::and2() & tts::and3(), ContractError);
+}
+
+TEST(Tt, ToString) {
+  EXPECT_EQ(tts::and2().to_string(), "1000");
+  EXPECT_EQ(tts::xor2().to_string(), "0110");
+}
+
+}  // namespace
+}  // namespace t1map
