@@ -1,0 +1,118 @@
+#include "cli/options.hpp"
+
+namespace t1map::cli {
+
+namespace {
+
+int parse_int(const std::string& flag, const std::string& value, int lo,
+              int hi) {
+  int parsed = 0;
+  try {
+    std::size_t used = 0;
+    parsed = std::stoi(value, &used);
+    if (used != value.size()) throw std::invalid_argument(value);
+  } catch (const std::exception&) {
+    throw UsageError(flag + " expects an integer, got '" + value + "'");
+  }
+  if (parsed < lo || parsed > hi) {
+    throw UsageError(flag + " must be in [" + std::to_string(lo) + ", " +
+                     std::to_string(hi) + "]");
+  }
+  return parsed;
+}
+
+}  // namespace
+
+Options parse_options(int argc, const char* const* argv) {
+  Options opts;
+  std::vector<std::string> args(argv + 1, argv + argc);
+
+  const auto value_of = [&](std::size_t& i) -> std::string {
+    if (i + 1 >= args.size()) {
+      throw UsageError(args[i] + " expects a value");
+    }
+    return args[++i];
+  };
+
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--gen") {
+      opts.gen_name = value_of(i);
+    } else if (arg == "--blif") {
+      opts.blif_path = value_of(i);
+    } else if (arg == "--config") {
+      opts.config = value_of(i);
+      if (opts.config != "all" && opts.config != "1phi" &&
+          opts.config != "nphi" && opts.config != "t1") {
+        throw UsageError("--config must be one of all|1phi|nphi|t1, got '" +
+                         opts.config + "'");
+      }
+    } else if (arg == "--phases") {
+      opts.phases = parse_int(arg, value_of(i), 1, 64);
+    } else if (arg == "--verify-rounds") {
+      opts.verify_rounds = parse_int(arg, value_of(i), 0, 1 << 20);
+    } else if (arg == "--no-cec") {
+      opts.run_cec = false;
+    } else if (arg == "--json") {
+      opts.json = true;
+    } else if (arg == "--out-blif") {
+      opts.out_blif = value_of(i);
+    } else if (arg == "--out-dot") {
+      opts.out_dot = value_of(i);
+    } else if (arg == "--paper") {
+      opts.paper = true;
+    } else if (arg == "--list-gens") {
+      opts.list_gens = true;
+    } else if (arg == "--help" || arg == "-h") {
+      opts.help = true;
+    } else {
+      throw UsageError("unknown argument '" + arg + "' (see --help)");
+    }
+  }
+
+  if (opts.help || opts.list_gens) return opts;
+  if (opts.gen_name.empty() == opts.blif_path.empty()) {
+    throw UsageError("exactly one of --gen NAME or --blif FILE is required");
+  }
+  // T1 substitution needs >= 3 phases; fail before any config runs.
+  if ((opts.config == "all" || opts.config == "t1") && opts.phases < 3) {
+    throw UsageError("the t1 configuration needs --phases >= 3 (got " +
+                     std::to_string(opts.phases) +
+                     "); use --config 1phi|nphi for fewer phases");
+  }
+  return opts;
+}
+
+std::string usage() {
+  return
+      "t1map — T1-aware SFQ technology mapping (DAC'24 flow)\n"
+      "\n"
+      "Runs the Table-I configurations (1-phase baseline, n-phase baseline,\n"
+      "n-phase + T1 cells) on a generated or BLIF-supplied circuit, verifies\n"
+      "each result against the source by SAT equivalence checking, and\n"
+      "reports JJ area, path-balancing DFFs and depth per configuration.\n"
+      "\n"
+      "Usage:\n"
+      "  t1map --gen NAME  [options]     map a generated benchmark\n"
+      "  t1map --blif FILE [options]     map a BLIF file ('-' = stdin)\n"
+      "\n"
+      "Options:\n"
+      "  --config all|1phi|nphi|t1   configurations to run (default: all)\n"
+      "  --phases N                  clock phases for nphi/t1 (default: 4)\n"
+      "  --json                      machine-readable JSON report on stdout\n"
+      "  --no-cec                    skip SAT equivalence checking\n"
+      "  --verify-rounds N           random-sim self-check rounds (default 8)\n"
+      "  --out-blif FILE             write the mapped netlist as BLIF\n"
+      "  --out-dot FILE              write a stage-annotated DOT graph\n"
+      "  --paper                     also print the published Table-I row\n"
+      "  --list-gens                 list accepted generator names\n"
+      "  --help                      this text\n"
+      "\n"
+      "Examples:\n"
+      "  t1map --gen adder16 --config all\n"
+      "  t1map --gen adder16 --config all --json\n"
+      "  t1map --gen c6288 --phases 6 --config t1 --out-blif c6288_t1.blif\n"
+      "  t1map --blif design.blif --config t1 --out-dot design.dot\n";
+}
+
+}  // namespace t1map::cli

@@ -1,0 +1,45 @@
+/// \file options.hpp
+/// \brief Command-line parsing for the `t1map` driver binary.
+
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace t1map::cli {
+
+/// Thrown on bad command lines; the message is user-facing.
+class UsageError : public std::runtime_error {
+ public:
+  explicit UsageError(const std::string& what) : std::runtime_error(what) {}
+};
+
+struct Options {
+  // Input (exactly one of the two).
+  std::string gen_name;   // --gen NAME (registry or parametric, e.g. adder16)
+  std::string blif_path;  // --blif FILE ("-" = stdin)
+
+  // Flow configuration.
+  std::string config = "all";  // --config all|1phi|nphi|t1
+  int phases = 4;              // --phases N (the n of "nphi" and "t1")
+  int verify_rounds = 8;       // --verify-rounds N (random-sim self-check)
+  bool run_cec = true;         // --no-cec skips SAT equivalence checking
+
+  // Output.
+  bool json = false;      // --json (machine-readable report on stdout)
+  std::string out_blif;   // --out-blif FILE (mapped netlist, last config)
+  std::string out_dot;    // --out-dot FILE (stage-annotated DOT, last config)
+  bool paper = false;     // --paper (print the published Table-I row too)
+
+  bool list_gens = false;  // --list-gens
+  bool help = false;       // --help
+};
+
+/// Parses argv; throws UsageError on malformed input.
+Options parse_options(int argc, const char* const* argv);
+
+/// The --help text.
+std::string usage();
+
+}  // namespace t1map::cli

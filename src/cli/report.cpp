@@ -1,0 +1,200 @@
+#include "cli/report.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+
+#include "common/require.hpp"
+#include "gen/registry.hpp"
+#include "sat/cec.hpp"
+
+namespace t1map::cli {
+
+namespace {
+
+std::string nphi_key(int phases) {
+  return "baseline_" + std::to_string(phases) + "phi";
+}
+
+std::string verdict_name(sat::CecResult::Verdict v) {
+  switch (v) {
+    case sat::CecResult::Verdict::kEquivalent: return "equivalent";
+    case sat::CecResult::Verdict::kNotEquivalent: return "not_equivalent";
+    case sat::CecResult::Verdict::kUnknown: return "unknown";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+std::vector<std::string> selected_configs(const Options& opts) {
+  std::vector<std::string> keys;
+  const bool all = opts.config == "all";
+  if (all || opts.config == "1phi") keys.push_back("baseline_1phi");
+  if ((all && opts.phases != 1) || opts.config == "nphi") {
+    keys.push_back(nphi_key(opts.phases));
+  }
+  if (all || opts.config == "t1") keys.push_back("t1");
+  return keys;
+}
+
+ConfigResult run_config(const Aig& aig, const std::string& key,
+                        const Options& opts) {
+  ConfigResult result;
+  result.key = key;
+  result.params.verify_rounds = opts.verify_rounds;
+  if (key == "baseline_1phi") {
+    result.params.num_phases = 1;
+    result.params.use_t1 = false;
+  } else if (key == "t1") {
+    result.params.num_phases = opts.phases;
+    result.params.use_t1 = true;
+  } else {
+    T1MAP_REQUIRE(key == nphi_key(opts.phases),
+                  "run_config: unknown configuration key " + key);
+    result.params.num_phases = opts.phases;
+    result.params.use_t1 = false;
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  result.flow = t1::run_flow(aig, result.params);
+  if (opts.run_cec) {
+    const sat::CecResult cec =
+        sat::check_equivalence(aig, result.flow.materialized.netlist);
+    result.cec = verdict_name(cec.verdict);
+    T1MAP_REQUIRE(cec.verdict != sat::CecResult::Verdict::kNotEquivalent,
+                  "CEC refuted config " + key + ": mapped netlist is not "
+                  "equivalent to the source AIG");
+  }
+  const auto end = std::chrono::steady_clock::now();
+  result.seconds = std::chrono::duration<double>(end - start).count();
+  return result;
+}
+
+const ConfigResult* find_config(const Report& report,
+                                const std::string& key) {
+  for (const ConfigResult& c : report.configs) {
+    if (c.key == key) return &c;
+  }
+  return nullptr;
+}
+
+io::Json report_json(const Report& report) {
+  io::Json root = io::Json::object();
+  root.set("design", report.design);
+  root.set("source", report.source);
+
+  io::Json input = io::Json::object();
+  input.set("pis", report.num_pis);
+  input.set("pos", report.num_pos);
+  input.set("ands", report.num_ands);
+  input.set("depth", report.depth);
+  root.set("input", std::move(input));
+  root.set("phases", report.phases);
+
+  io::Json configs = io::Json::object();
+  for (const ConfigResult& c : report.configs) {
+    const t1::FlowStats& s = c.flow.stats;
+    io::Json j = io::Json::object();
+    j.set("phases", c.params.num_phases);
+    j.set("use_t1", c.params.use_t1);
+    j.set("jj_total", s.area_jj);
+    j.set("dffs", s.dffs);
+    j.set("depth_cycles", s.depth_cycles);
+    j.set("num_stages", s.num_stages);
+    j.set("logic_cells", s.logic_cells);
+    j.set("splitters", s.splitters);
+    j.set("t1_found", s.t1_found);
+    j.set("t1_used", s.t1_used);
+    j.set("cec", c.cec);
+    j.set("seconds", c.seconds);
+    configs.set(c.key, std::move(j));
+  }
+  root.set("configs", std::move(configs));
+
+  if (const gen::PaperRow* row = gen::paper_row(report.design)) {
+    io::Json paper = io::Json::object();
+    paper.set("t1_found", row->t1_found);
+    paper.set("t1_used", row->t1_used);
+    io::Json dff = io::Json::object();
+    dff.set("1phi", row->dff_1p);
+    dff.set("4phi", row->dff_4p);
+    dff.set("t1", row->dff_t1);
+    paper.set("dffs", std::move(dff));
+    io::Json area = io::Json::object();
+    area.set("1phi", row->area_1p);
+    area.set("4phi", row->area_4p);
+    area.set("t1", row->area_t1);
+    paper.set("jj_total", std::move(area));
+    io::Json depth = io::Json::object();
+    depth.set("1phi", row->depth_1p);
+    depth.set("4phi", row->depth_4p);
+    depth.set("t1", row->depth_t1);
+    paper.set("depth_cycles", std::move(depth));
+    root.set("paper_table1", std::move(paper));
+  }
+  return root;
+}
+
+std::string report_text(const Report& report, bool with_paper) {
+  std::ostringstream os;
+  char line[256];
+
+  std::snprintf(line, sizeof(line),
+                "%s (%s): %u PIs, %u POs, %u AND nodes, depth %d\n\n",
+                report.design.c_str(), report.source.c_str(), report.num_pis,
+                report.num_pos, report.num_ands, report.depth);
+  os << line;
+
+  std::snprintf(line, sizeof(line),
+                "%-16s %6s %8s %8s %9s %9s %6s %6s %12s %8s\n", "config",
+                "phases", "T1 used", "logic", "splitters", "DFFs", "JJs",
+                "depth", "CEC", "time");
+  os << line;
+  for (const ConfigResult& c : report.configs) {
+    const t1::FlowStats& s = c.flow.stats;
+    std::snprintf(line, sizeof(line),
+                  "%-16s %6d %8d %8ld %9ld %9ld %6ld %6d %12s %7.2fs\n",
+                  c.key.c_str(), c.params.num_phases, s.t1_used,
+                  s.logic_cells, s.splitters, s.dffs, s.area_jj,
+                  s.depth_cycles, c.cec.c_str(), c.seconds);
+    os << line;
+  }
+
+  const ConfigResult* t1c = find_config(report, "t1");
+  const ConfigResult* base = nullptr;
+  for (const ConfigResult& c : report.configs) {
+    if (c.key != "t1" && c.key != "baseline_1phi") base = &c;
+  }
+  if (t1c != nullptr && base != nullptr && base->flow.stats.area_jj > 0) {
+    const double jj_ratio = static_cast<double>(t1c->flow.stats.area_jj) /
+                            static_cast<double>(base->flow.stats.area_jj);
+    const double dff_ratio =
+        base->flow.stats.dffs > 0
+            ? static_cast<double>(t1c->flow.stats.dffs) /
+                  static_cast<double>(base->flow.stats.dffs)
+            : 1.0;
+    std::snprintf(line, sizeof(line),
+                  "\nT1 vs %s: JJ ratio %.3f, DFF ratio %.3f\n",
+                  base->key.c_str(), jj_ratio, dff_ratio);
+    os << line;
+  }
+
+  if (with_paper) {
+    if (const gen::PaperRow* row = gen::paper_row(report.design)) {
+      os << "\npublished Table I row (1phi / 4phi / T1):\n";
+      std::snprintf(line, sizeof(line),
+                    "  DFFs  %8ld %8ld %8ld\n  JJs   %8ld %8ld %8ld\n"
+                    "  depth %8d %8d %8d\n  T1 found/used: %d/%d\n",
+                    row->dff_1p, row->dff_4p, row->dff_t1, row->area_1p,
+                    row->area_4p, row->area_t1, row->depth_1p, row->depth_4p,
+                    row->depth_t1, row->t1_found, row->t1_used);
+      os << line;
+    } else {
+      os << "\n(no published Table I row for this design)\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace t1map::cli

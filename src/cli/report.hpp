@@ -1,0 +1,59 @@
+/// \file report.hpp
+/// \brief Running Table-I configurations and rendering the stats report
+/// (text and JSON) for the `t1map` CLI.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "cli/options.hpp"
+#include "io/json.hpp"
+#include "t1/flow.hpp"
+
+namespace t1map::cli {
+
+/// One executed flow configuration.
+struct ConfigResult {
+  std::string key;  // "baseline_1phi", "baseline_<n>phi" or "t1"
+  t1::FlowParams params;
+  t1::FlowResult flow;
+  /// "equivalent" | "not_equivalent" | "unknown" | "skipped"
+  std::string cec = "skipped";
+  double seconds = 0.0;
+};
+
+/// The full run: input summary plus every executed configuration.
+struct Report {
+  std::string design;  // benchmark / model name
+  std::string source;  // "gen:<name>" or "blif:<path>"
+  std::uint32_t num_pis = 0;
+  std::uint32_t num_pos = 0;
+  std::uint32_t num_ands = 0;
+  int depth = 0;
+  int phases = 4;  // the n of nphi / t1
+  std::vector<ConfigResult> configs;
+};
+
+/// Expands `--config` into the list of configuration keys to run, in
+/// canonical order (1phi, nphi, t1).
+std::vector<std::string> selected_configs(const Options& opts);
+
+/// Runs one configuration (key as produced by `selected_configs`) on `aig`,
+/// including the optional SAT equivalence check of the materialized
+/// netlist.  Throws ContractError if the flow's self-checks fail.
+ConfigResult run_config(const Aig& aig, const std::string& key,
+                        const Options& opts);
+
+/// Machine-readable report (the `--json` output).
+io::Json report_json(const Report& report);
+
+/// Human-readable report (the default output).  When `with_paper` is set
+/// and the design has a published Table-I row, it is appended.
+std::string report_text(const Report& report, bool with_paper);
+
+/// Finds a config by key; nullptr when it was not run.
+const ConfigResult* find_config(const Report& report, const std::string& key);
+
+}  // namespace t1map::cli

@@ -1,0 +1,115 @@
+// t1map — unified driver for the T1-aware SFQ mapping flow.
+//
+// Reads a circuit (named generator or BLIF), runs the requested Table-I
+// configurations (1φ baseline, nφ baseline, nφ + T1), verifies each mapped
+// netlist against the source with SAT CEC, and prints a stats report as
+// text or JSON.  Optionally exports the final mapped netlist as BLIF/DOT.
+//
+//   $ t1map --gen adder16 --config all
+//   $ t1map --blif design.blif --config t1 --json
+
+#include <fstream>
+#include <iostream>
+
+#include "cli/options.hpp"
+#include "cli/report.hpp"
+#include "common/require.hpp"
+#include "gen/registry.hpp"
+#include "io/blif.hpp"
+#include "io/dot.hpp"
+
+namespace t1map::cli {
+namespace {
+
+Aig load_input(const Options& opts, Report& report) {
+  if (!opts.gen_name.empty()) {
+    report.design = opts.gen_name;
+    report.source = "gen:" + opts.gen_name;
+    return gen::make_named(opts.gen_name);
+  }
+  report.source = "blif:" + opts.blif_path;
+  std::string model_name;
+  Aig aig;
+  if (opts.blif_path == "-") {
+    aig = io::read_blif(std::cin, &model_name);
+  } else {
+    std::ifstream ifs(opts.blif_path);
+    T1MAP_REQUIRE(ifs.good(), "cannot open BLIF file: " + opts.blif_path);
+    aig = io::read_blif(ifs, &model_name);
+  }
+  report.design = model_name;
+  return aig;
+}
+
+void export_netlist(const Options& opts, const ConfigResult& config) {
+  if (!opts.out_blif.empty()) {
+    std::ofstream ofs(opts.out_blif);
+    T1MAP_REQUIRE(ofs.good(), "cannot open for writing: " + opts.out_blif);
+    io::write_blif(ofs, config.flow.materialized.netlist,
+                   config.key + "_mapped");
+  }
+  if (!opts.out_dot.empty()) {
+    std::ofstream ofs(opts.out_dot);
+    T1MAP_REQUIRE(ofs.good(), "cannot open for writing: " + opts.out_dot);
+    io::write_dot(ofs, config.flow.materialized.netlist,
+                  &config.flow.materialized.stages);
+  }
+}
+
+int run(const Options& opts) {
+  if (opts.help) {
+    std::cout << usage();
+    return 0;
+  }
+  if (opts.list_gens) {
+    std::cout << gen::describe_generators();
+    return 0;
+  }
+
+  Report report;
+  report.phases = opts.phases;
+  const Aig aig = load_input(opts, report);
+  report.num_pis = aig.num_pis();
+  report.num_pos = aig.num_pos();
+  report.num_ands = aig.num_ands();
+  report.depth = aig.depth();
+
+  for (const std::string& key : selected_configs(opts)) {
+    if (!opts.json) {
+      std::cerr << "t1map: running " << key << " ..." << std::endl;
+    }
+    report.configs.push_back(run_config(aig, key, opts));
+  }
+  T1MAP_REQUIRE(!report.configs.empty(), "no configuration selected");
+
+  // Export the most interesting config: t1 when run, else the last one.
+  const ConfigResult* to_export = find_config(report, "t1");
+  if (to_export == nullptr) to_export = &report.configs.back();
+  export_netlist(opts, *to_export);
+
+  if (opts.json) {
+    report_json(report).write(std::cout, 2);
+    std::cout << '\n';
+  } else {
+    std::cout << report_text(report, opts.paper);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace t1map::cli
+
+int main(int argc, char** argv) {
+  try {
+    return t1map::cli::run(t1map::cli::parse_options(argc, argv));
+  } catch (const t1map::cli::UsageError& e) {
+    std::cerr << "t1map: " << e.what() << "\n\n" << t1map::cli::usage();
+    return 2;
+  } catch (const t1map::ContractError& e) {
+    std::cerr << "t1map: error: " << e.what() << '\n';
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "t1map: unexpected error: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -1,5 +1,8 @@
 #include "gen/registry.hpp"
 
+#include <algorithm>
+#include <cctype>
+
 #include "common/require.hpp"
 #include "gen/arith.hpp"
 #include "gen/cordic.hpp"
@@ -30,6 +33,63 @@ Aig make_benchmark(const std::string& name) {
   if (name == "log2") return log2_circuit(32, 16, 10);
   T1MAP_REQUIRE(false, "unknown benchmark: " + name);
   return Aig{};
+}
+
+namespace {
+
+/// Splits `name` into a family prefix and a positive decimal suffix;
+/// returns false when there is no suffix.
+bool split_sized_name(const std::string& name, std::string& family,
+                      int& size) {
+  std::size_t digits = 0;
+  while (digits < name.size() &&
+         std::isdigit(static_cast<unsigned char>(name[name.size() - 1 - digits]))) {
+    ++digits;
+  }
+  // 7 digits is already far beyond any buildable width; longer suffixes
+  // would overflow std::stoi.
+  if (digits == 0 || digits == name.size() || digits > 7) return false;
+  family = name.substr(0, name.size() - digits);
+  size = std::stoi(name.substr(name.size() - digits));
+  return size > 0;
+}
+
+}  // namespace
+
+Aig make_named(const std::string& name) {
+  for (const std::string& known : table1_names()) {
+    if (name == known) return make_benchmark(name);
+  }
+  std::string family;
+  int size = 0;
+  if (split_sized_name(name, family, size)) {
+    if (family == "adder") return ripple_adder(size);
+    if (family == "mul" || family == "multiplier") {
+      return array_multiplier(size);
+    }
+    if (family == "square" || family == "squarer") return squarer(size);
+    if (family == "voter") return majority_voter(size);
+    if (family == "comparator") return adder_comparator(size);
+    if (family == "sin" || family == "cordic") {
+      return cordic_sin(size, std::max(1, size - 2));
+    }
+  }
+  T1MAP_REQUIRE(false, "unknown generator: " + name +
+                           " (try `t1map --list-gens`)");
+  return Aig{};
+}
+
+std::string describe_generators() {
+  return
+      "Table-I benchmarks (paper sizes):\n"
+      "  adder c7552 c6288 sin voter square multiplier log2\n"
+      "Parametric generators (<family><width>):\n"
+      "  adder<N>       N-bit ripple-carry adder, N >= 2    e.g. adder16\n"
+      "  mul<N>         N-bit array multiplier, N >= 2      e.g. mul8\n"
+      "  square<N>      N-bit squarer, N >= 2               e.g. square12\n"
+      "  voter<N>       N-input majority voter, odd N >= 3  e.g. voter25\n"
+      "  comparator<N>  N-bit adder+comparator, N >= 2 (c7552-like)\n"
+      "  sin<N>         N-bit CORDIC sine, 4 <= N <= 28     e.g. sin12\n";
 }
 
 const std::vector<PaperRow>& paper_table1() {

@@ -21,6 +21,17 @@ const std::vector<std::string>& table1_names();
 /// Throws ContractError for unknown names.
 Aig make_benchmark(const std::string& name);
 
+/// Resolves a generator name to an AIG.  Accepts the Table-I names
+/// (`make_benchmark`) plus parametric forms `<family><width>` — e.g.
+/// `adder16`, `mul8`, `square12`, `voter25`, `comparator10`, `sin12` —
+/// so callers (the `t1map` CLI in particular) can run any size.
+/// Throws ContractError for unknown names or invalid sizes.
+Aig make_named(const std::string& name);
+
+/// Human-readable catalogue of accepted generator names, one per line
+/// (for `t1map --list-gens`).
+std::string describe_generators();
+
 /// One row of the published Table I (for comparison printing).
 struct PaperRow {
   std::string name;

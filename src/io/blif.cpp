@@ -1,5 +1,10 @@
 #include "io/blif.hpp"
 
+#include <cctype>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "common/require.hpp"
@@ -8,7 +13,27 @@ namespace t1map::io {
 
 namespace {
 
-std::string aig_sig(std::uint32_t node) { return "n" + std::to_string(node); }
+/// Picks an internal-signal prefix that cannot collide with any port name:
+/// extends "n" with underscores until no port name has the form
+/// `<prefix><digits>` (a port named e.g. "n2" would otherwise alias an
+/// internal node and silently corrupt the export).
+std::string pick_sig_prefix(const std::vector<std::string>& port_names) {
+  std::string prefix = "n";
+  const auto collides = [&] {
+    for (const std::string& name : port_names) {
+      if (name.size() <= prefix.size()) continue;
+      if (name.compare(0, prefix.size(), prefix) != 0) continue;
+      bool all_digits = true;
+      for (std::size_t i = prefix.size(); i < name.size(); ++i) {
+        all_digits &= std::isdigit(static_cast<unsigned char>(name[i])) != 0;
+      }
+      if (all_digits) return true;
+    }
+    return false;
+  };
+  while (collides()) prefix += '_';
+  return prefix;
+}
 
 /// Emits `.names <ins> <out>` rows for an arbitrary truth table.
 void emit_tt(std::ostream& os, const Tt& tt,
@@ -29,6 +54,18 @@ void emit_tt(std::ostream& os, const Tt& tt,
 
 void write_blif(std::ostream& os, const Aig& aig,
                 const std::string& model_name) {
+  std::vector<std::string> port_names;
+  for (std::uint32_t i = 0; i < aig.num_pis(); ++i) {
+    port_names.push_back(aig.pi_name(i));
+  }
+  for (std::uint32_t i = 0; i < aig.num_pos(); ++i) {
+    port_names.push_back(aig.po_name(i));
+  }
+  const std::string prefix = pick_sig_prefix(port_names);
+  const auto aig_sig = [&](std::uint32_t node) {
+    return prefix + std::to_string(node);
+  };
+
   os << ".model " << model_name << '\n';
   os << ".inputs";
   for (std::uint32_t i = 0; i < aig.num_pis(); ++i) {
@@ -66,6 +103,13 @@ void write_blif(std::ostream& os, const Aig& aig,
 void write_blif(std::ostream& os, const sfq::Netlist& ntk,
                 const std::string& model_name) {
   using sfq::CellKind;
+  std::vector<std::string> port_names;
+  for (std::uint32_t i = 0; i < ntk.num_pis(); ++i) {
+    port_names.push_back(ntk.pi_name(i));
+  }
+  for (const auto& po : ntk.pos()) port_names.push_back(po.name);
+  const std::string prefix = pick_sig_prefix(port_names);
+
   os << ".model " << model_name << '\n';
   os << ".inputs";
   for (std::uint32_t i = 0; i < ntk.num_pis(); ++i) {
@@ -81,7 +125,7 @@ void write_blif(std::ostream& os, const sfq::Netlist& ntk,
         if (ntk.pis()[i] == id) return ntk.pi_name(i);
       }
     }
-    return "n" + std::to_string(id);
+    return prefix + std::to_string(id);
   };
 
   for (std::uint32_t id = 0; id < ntk.num_nodes(); ++id) {
@@ -118,6 +162,243 @@ void write_blif(std::ostream& os, const sfq::Netlist& ntk,
     os << ".names " << sig(po.driver) << ' ' << po.name << "\n1 1\n";
   }
   os << ".end\n";
+}
+
+// --- Reader ------------------------------------------------------------------
+
+namespace {
+
+/// One `.names` gate: a sum-of-products cover over named input signals.
+struct NamesGate {
+  std::vector<std::string> inputs;
+  std::vector<std::string> rows;  // input plane only, e.g. "1-0"
+  bool output_phase = true;       // true: rows are the onset; false: offset
+  bool has_rows = false;          // distinguishes const0 from "no cover yet"
+};
+
+/// Splits a logical BLIF line into whitespace-separated tokens.
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream iss(line);
+  std::string tok;
+  while (iss >> tok) tokens.push_back(tok);
+  return tokens;
+}
+
+class BlifReader {
+ public:
+  explicit BlifReader(std::istream& is) : is_(is) {}
+
+  Aig read(std::string* model_name_out) {
+    parse_lines();
+    // An empty stream, a directory, or a file with no BLIF constructs
+    // would otherwise "parse" into an empty circuit.
+    T1MAP_REQUIRE(saw_construct_,
+                  "blif: no BLIF content found (empty or unreadable input)");
+    Aig aig = build();
+    if (model_name_out) *model_name_out = model_name_;
+    return aig;
+  }
+
+ private:
+  /// Reads logical lines (continuations joined, comments stripped) and
+  /// fills the signal -> gate table.
+  void parse_lines() {
+    std::string line;
+    NamesGate* open_gate = nullptr;
+    while (next_logical_line(line)) {
+      const std::vector<std::string> tokens = tokenize(line);
+      if (tokens.empty()) continue;
+      const std::string& head = tokens[0];
+      if (head[0] == '.') saw_construct_ = true;
+      if (head[0] != '.') {
+        // A cover row of the most recent .names.
+        T1MAP_REQUIRE(open_gate != nullptr,
+                      "blif: cover row outside .names: " + line);
+        add_cover_row(*open_gate, tokens, line);
+        continue;
+      }
+      if (head != ".names") open_gate = nullptr;
+      if (head == ".model") {
+        if (tokens.size() > 1) model_name_ = tokens[1];
+      } else if (head == ".inputs") {
+        for (std::size_t i = 1; i < tokens.size(); ++i) {
+          inputs_.push_back(tokens[i]);
+        }
+      } else if (head == ".outputs") {
+        for (std::size_t i = 1; i < tokens.size(); ++i) {
+          outputs_.push_back(tokens[i]);
+        }
+      } else if (head == ".names") {
+        T1MAP_REQUIRE(tokens.size() >= 2, "blif: .names needs an output");
+        const std::string& out = tokens.back();
+        T1MAP_REQUIRE(!gates_.count(out),
+                      "blif: signal driven twice: " + out);
+        NamesGate gate;
+        gate.inputs.assign(tokens.begin() + 1, tokens.end() - 1);
+        open_gate = &gates_.emplace(out, std::move(gate)).first->second;
+      } else if (head == ".latch") {
+        // `.latch input output [type clock] [init]` — combinationally a
+        // buffer (see header comment).
+        T1MAP_REQUIRE(tokens.size() >= 3, "blif: malformed .latch");
+        const std::string& out = tokens[2];
+        T1MAP_REQUIRE(!gates_.count(out),
+                      "blif: signal driven twice: " + out);
+        NamesGate buffer;
+        buffer.inputs = {tokens[1]};
+        buffer.rows = {"1"};
+        buffer.has_rows = true;
+        gates_.emplace(out, std::move(buffer));
+      } else if (head == ".end") {
+        break;
+      } else {
+        T1MAP_REQUIRE(false, "blif: unsupported construct: " + head);
+      }
+    }
+  }
+
+  bool next_logical_line(std::string& out) {
+    out.clear();
+    std::string raw;
+    while (std::getline(is_, raw)) {
+      if (!raw.empty() && raw.back() == '\r') raw.pop_back();  // CRLF input
+      if (const std::size_t hash = raw.find('#'); hash != std::string::npos) {
+        raw.erase(hash);
+      }
+      const bool continued = !raw.empty() && raw.back() == '\\';
+      if (continued) raw.pop_back();
+      out += raw;
+      if (continued) continue;
+      return true;
+    }
+    return !out.empty();
+  }
+
+  void add_cover_row(NamesGate& gate, const std::vector<std::string>& tokens,
+                     const std::string& line) {
+    std::string plane;
+    char out_bit;
+    if (gate.inputs.empty()) {
+      // Constant: single output-bit token.
+      T1MAP_REQUIRE(tokens.size() == 1 && tokens[0].size() == 1,
+                    "blif: malformed constant cover: " + line);
+      out_bit = tokens[0][0];
+    } else {
+      T1MAP_REQUIRE(tokens.size() == 2 && tokens[1].size() == 1,
+                    "blif: malformed cover row: " + line);
+      plane = tokens[0];
+      out_bit = tokens[1][0];
+      T1MAP_REQUIRE(plane.size() == gate.inputs.size(),
+                    "blif: cover width mismatch: " + line);
+      for (const char c : plane) {
+        T1MAP_REQUIRE(c == '0' || c == '1' || c == '-',
+                      "blif: bad cover literal: " + line);
+      }
+    }
+    T1MAP_REQUIRE(out_bit == '0' || out_bit == '1',
+                  "blif: bad cover output bit: " + line);
+    const bool phase = out_bit == '1';
+    T1MAP_REQUIRE(!gate.has_rows || gate.output_phase == phase,
+                  "blif: mixed onset/offset rows in one .names");
+    gate.output_phase = phase;
+    gate.has_rows = true;
+    gate.rows.push_back(plane);
+  }
+
+  // --- AIG construction ----------------------------------------------------
+
+  Aig build() {
+    Aig aig;
+    for (const std::string& name : inputs_) {
+      T1MAP_REQUIRE(!lits_.count(name), "blif: duplicate input: " + name);
+      lits_[name] = aig.create_pi(name);
+    }
+    for (const auto& [name, gate] : gates_) {
+      T1MAP_REQUIRE(!lits_.count(name),
+                    "blif: primary input is also gate-driven: " + name);
+    }
+    for (const std::string& name : outputs_) {
+      aig.create_po(signal_lit(aig, name), name);
+    }
+    return aig;
+  }
+
+  /// Builds the SOP of `gate` over already-resolved fanin literals.
+  Lit elaborate_gate(Aig& aig, const NamesGate& gate) {
+    std::vector<Lit> fanins;
+    fanins.reserve(gate.inputs.size());
+    for (const std::string& in : gate.inputs) {
+      fanins.push_back(lits_.at(in));
+    }
+    // Sum of products: OR over rows, AND over row literals.
+    Lit sum = Aig::kConst0;
+    for (const std::string& row : gate.rows) {
+      Lit product = Aig::kConst1;
+      for (std::size_t i = 0; i < row.size(); ++i) {
+        if (row[i] == '-') continue;
+        product =
+            aig.create_and(product, lit_notif(fanins[i], row[i] == '0'));
+      }
+      sum = aig.create_or(sum, product);
+    }
+    return gate.output_phase ? sum : lit_not(sum);
+  }
+
+  /// Resolves a signal name to an AIG literal, elaborating driving gates
+  /// on demand (BLIF imposes no definition order).  Iterative DFS: deep
+  /// buffer/latch chains must not overflow the call stack.
+  Lit signal_lit(Aig& aig, const std::string& name) {
+    if (const auto it = lits_.find(name); it != lits_.end()) {
+      return it->second;
+    }
+    std::vector<std::string> stack{name};
+    while (!stack.empty()) {
+      const std::string cur = stack.back();  // copy: pushes reallocate
+      if (lits_.count(cur)) {  // resolved while queued behind a sibling
+        stack.pop_back();
+        continue;
+      }
+      const auto git = gates_.find(cur);
+      T1MAP_REQUIRE(git != gates_.end(), "blif: undriven signal: " + cur);
+      const NamesGate& gate = git->second;
+      building_.insert(cur);
+
+      bool ready = true;
+      for (const std::string& in : gate.inputs) {
+        if (lits_.count(in)) continue;
+        T1MAP_REQUIRE(!building_.count(in),
+                      "blif: combinational cycle through: " + in);
+        stack.push_back(in);
+        ready = false;
+      }
+      if (!ready) continue;  // revisit cur once its fanins resolve
+
+      lits_[cur] = elaborate_gate(aig, gate);
+      building_.erase(cur);
+      stack.pop_back();
+    }
+    return lits_.at(name);
+  }
+
+  std::istream& is_;
+  bool saw_construct_ = false;
+  std::string model_name_ = "blif";
+  std::vector<std::string> inputs_;
+  std::vector<std::string> outputs_;
+  std::map<std::string, NamesGate> gates_;
+  std::map<std::string, Lit> lits_;
+  std::set<std::string> building_;
+};
+
+}  // namespace
+
+Aig read_blif(std::istream& is, std::string* model_name_out) {
+  return BlifReader(is).read(model_name_out);
+}
+
+Aig read_blif_string(const std::string& text, std::string* model_name_out) {
+  std::istringstream iss(text);
+  return read_blif(iss, model_name_out);
 }
 
 }  // namespace t1map::io

@@ -1,12 +1,20 @@
 /// \file blif.hpp
-/// \brief BLIF writers for AIGs and SFQ netlists (debug / interchange).
+/// \brief BLIF reader and writers for AIGs and SFQ netlists.
 ///
-/// T1 taps are flattened to `.names` over the core's data inputs (BLIF has
-/// no multi-output gate primitive); DFFs are written as `.latch`.  The
-/// output round-trips through standard tools for combinational checks.
+/// Writers: T1 taps are flattened to `.names` over the core's data inputs
+/// (BLIF has no multi-output gate primitive); DFFs are written as `.latch`.
+/// The output round-trips through standard tools for combinational checks.
+///
+/// Reader: parses a single-model structural BLIF into an AIG.  `.names`
+/// covers support `0`/`1`/`-` input literals and both output phases;
+/// `.latch` is read as a combinational buffer, which matches the
+/// path-balancing DFF semantics of SFQ netlists (every latch is a pure
+/// delay), so `write_blif(netlist)` followed by `read_blif` yields an AIG
+/// combinationally equivalent to the netlist.
 
 #pragma once
 
+#include <istream>
 #include <ostream>
 #include <string>
 
@@ -20,5 +28,14 @@ void write_blif(std::ostream& os, const Aig& aig,
 
 void write_blif(std::ostream& os, const sfq::Netlist& ntk,
                 const std::string& model_name = "sfq");
+
+/// Parses BLIF text into an AIG.  Throws ContractError on syntax errors,
+/// undriven signals or combinational cycles.  `model_name_out`, when given,
+/// receives the `.model` name.
+Aig read_blif(std::istream& is, std::string* model_name_out = nullptr);
+
+/// Convenience overload for in-memory text.
+Aig read_blif_string(const std::string& text,
+                     std::string* model_name_out = nullptr);
 
 }  // namespace t1map::io

@@ -1,0 +1,390 @@
+#include "io/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/require.hpp"
+
+namespace t1map::io {
+
+Json Json::array() {
+  Json j;
+  j.kind_ = Kind::kArray;
+  return j;
+}
+
+Json Json::object() {
+  Json j;
+  j.kind_ = Kind::kObject;
+  return j;
+}
+
+bool Json::as_bool() const {
+  T1MAP_REQUIRE(is_bool(), "Json: not a bool");
+  return bool_;
+}
+
+double Json::as_number() const {
+  T1MAP_REQUIRE(is_number(), "Json: not a number");
+  return num_;
+}
+
+const std::string& Json::as_string() const {
+  T1MAP_REQUIRE(is_string(), "Json: not a string");
+  return str_;
+}
+
+std::size_t Json::size() const {
+  if (is_array()) return arr_.size();
+  if (is_object()) return obj_.size();
+  T1MAP_REQUIRE(false, "Json: size() on a scalar");
+  return 0;
+}
+
+const Json& Json::at(std::size_t index) const {
+  T1MAP_REQUIRE(is_array(), "Json: at(index) on a non-array");
+  T1MAP_REQUIRE(index < arr_.size(), "Json: array index out of range");
+  return arr_[index];
+}
+
+Json& Json::push_back(Json value) {
+  T1MAP_REQUIRE(is_array(), "Json: push_back on a non-array");
+  arr_.push_back(std::move(value));
+  return arr_.back();
+}
+
+const Json& Json::at(std::string_view key) const {
+  const Json* found = find(key);
+  T1MAP_REQUIRE(found != nullptr,
+                "Json: missing object key '" + std::string(key) + "'");
+  return *found;
+}
+
+const Json* Json::find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [k, v] : obj_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+Json& Json::set(std::string key, Json value) {
+  T1MAP_REQUIRE(is_object(), "Json: set on a non-object");
+  for (auto& [k, v] : obj_) {
+    if (k == key) {
+      v = std::move(value);
+      return v;
+    }
+  }
+  obj_.emplace_back(std::move(key), std::move(value));
+  return obj_.back().second;
+}
+
+const std::vector<std::pair<std::string, Json>>& Json::members() const {
+  T1MAP_REQUIRE(is_object(), "Json: members() on a non-object");
+  return obj_;
+}
+
+// --- Writer ------------------------------------------------------------------
+
+namespace {
+
+void write_escaped(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void write_number(std::ostream& os, double n) {
+  // Integers (the common case for flow statistics) print without a
+  // fractional part; everything else uses %.17g.
+  char buf[32];
+  if (n == std::floor(n) && std::abs(n) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", n);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", n);
+  }
+  os << buf;
+}
+
+void write_indent(std::ostream& os, int indent, int depth) {
+  if (indent < 0) return;
+  os << '\n';
+  for (int i = 0; i < indent * depth; ++i) os << ' ';
+}
+
+}  // namespace
+
+void Json::write_impl(std::ostream& os, int indent, int depth) const {
+  switch (kind_) {
+    case Kind::kNull: os << "null"; break;
+    case Kind::kBool: os << (bool_ ? "true" : "false"); break;
+    case Kind::kNumber: write_number(os, num_); break;
+    case Kind::kString: write_escaped(os, str_); break;
+    case Kind::kArray: {
+      if (arr_.empty()) {
+        os << "[]";
+        break;
+      }
+      os << '[';
+      for (std::size_t i = 0; i < arr_.size(); ++i) {
+        if (i) os << ',';
+        write_indent(os, indent, depth + 1);
+        arr_[i].write_impl(os, indent, depth + 1);
+      }
+      write_indent(os, indent, depth);
+      os << ']';
+      break;
+    }
+    case Kind::kObject: {
+      if (obj_.empty()) {
+        os << "{}";
+        break;
+      }
+      os << '{';
+      bool first = true;
+      for (const auto& [k, v] : obj_) {
+        if (!first) os << ',';
+        first = false;
+        write_indent(os, indent, depth + 1);
+        write_escaped(os, k);
+        os << (indent < 0 ? ":" : ": ");
+        v.write_impl(os, indent, depth + 1);
+      }
+      write_indent(os, indent, depth);
+      os << '}';
+      break;
+    }
+  }
+}
+
+void Json::write(std::ostream& os, int indent) const {
+  write_impl(os, indent, 0);
+}
+
+std::string Json::dump(int indent) const {
+  std::ostringstream oss;
+  write(oss, indent);
+  return oss.str();
+}
+
+// --- Parser ------------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Json parse_document() {
+    Json value = parse_value();
+    skip_ws();
+    T1MAP_REQUIRE(pos_ == text_.size(),
+                  "Json: trailing garbage at offset " + std::to_string(pos_));
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) {
+    T1MAP_REQUIRE(false,
+                  "Json: " + what + " at offset " + std::to_string(pos_));
+    std::abort();  // unreachable: T1MAP_REQUIRE(false) throws
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void expect(char c) {
+    if (!consume(c)) fail(std::string("expected '") + c + "'");
+  }
+
+  bool consume_word(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  bool at_digit() {
+    return pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]));
+  }
+
+  Json parse_value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') return Json(parse_string());
+    if (consume_word("true")) return Json(true);
+    if (consume_word("false")) return Json(false);
+    if (consume_word("null")) return Json();
+    if (c == '-' || (c >= '0' && c <= '9')) return parse_number();
+    fail("unexpected character");
+  }
+
+  Json parse_object() {
+    expect('{');
+    Json obj = Json::object();
+    skip_ws();
+    if (consume('}')) return obj;
+    while (true) {
+      skip_ws();
+      if (peek() != '"') fail("expected object key string");
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj.set(std::move(key), parse_value());
+      skip_ws();
+      if (consume(',')) continue;
+      expect('}');
+      return obj;
+    }
+  }
+
+  Json parse_array() {
+    expect('[');
+    Json arr = Json::array();
+    skip_ws();
+    if (consume(']')) return arr;
+    while (true) {
+      arr.push_back(parse_value());
+      skip_ws();
+      if (consume(',')) continue;
+      expect(']');
+      return arr;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("bad hex digit in \\u escape");
+            }
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs come out as
+          // two 3-byte sequences; the stats report never emits them).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    consume('-');
+    while (at_digit()) ++pos_;
+    if (consume('.')) {
+      while (at_digit()) ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      while (at_digit()) ++pos_;
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    std::size_t used = 0;
+    double value = 0.0;
+    try {
+      value = std::stod(token, &used);
+    } catch (const std::exception&) {
+      fail("malformed number");
+    }
+    if (used != token.size()) fail("malformed number");
+    return Json(value);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json Json::parse(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace t1map::io

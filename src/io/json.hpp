@@ -1,0 +1,91 @@
+/// \file json.hpp
+/// \brief Minimal JSON value, writer and parser (no external dependencies).
+///
+/// Backs the `t1map --json` machine-readable report and lets tests parse
+/// that report back.  Supports the full JSON data model except that all
+/// numbers are held as `double` (ample for the integer statistics the flow
+/// reports).  Object key order is preserved on round-trip.
+
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace t1map::io {
+
+class Json {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : kind_(Kind::kNull) {}
+  Json(bool b) : kind_(Kind::kBool), bool_(b) {}
+  Json(double n) : kind_(Kind::kNumber), num_(n) {}
+  Json(int n) : Json(static_cast<double>(n)) {}
+  Json(long n) : Json(static_cast<double>(n)) {}
+  Json(unsigned n) : Json(static_cast<double>(n)) {}
+  Json(const char* s) : kind_(Kind::kString), str_(s) {}
+  Json(std::string s) : kind_(Kind::kString), str_(std::move(s)) {}
+
+  static Json array();
+  static Json object();
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Typed accessors; throw ContractError on kind mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+
+  // --- Array ---------------------------------------------------------------
+
+  std::size_t size() const;
+  /// Array element access; throws on out-of-range or non-array.
+  const Json& at(std::size_t index) const;
+  /// Appends to an array; throws on non-array.
+  Json& push_back(Json value);
+
+  // --- Object --------------------------------------------------------------
+
+  /// Object member access; throws if missing or non-object.
+  const Json& at(std::string_view key) const;
+  /// Lookup without throwing; nullptr if absent or non-object.
+  const Json* find(std::string_view key) const;
+  bool contains(std::string_view key) const { return find(key) != nullptr; }
+  /// Inserts or replaces a member; throws on non-object.
+  Json& set(std::string key, Json value);
+  const std::vector<std::pair<std::string, Json>>& members() const;
+
+  // --- Serialization -------------------------------------------------------
+
+  /// Pretty-prints with 2-space indentation when `indent >= 0`; compact
+  /// single-line output when `indent < 0`.
+  std::string dump(int indent = 2) const;
+  void write(std::ostream& os, int indent = 2) const;
+
+  /// Parses a complete JSON document; throws ContractError with a byte
+  /// offset on malformed input (including trailing garbage).
+  static Json parse(std::string_view text);
+
+ private:
+  void write_impl(std::ostream& os, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<Json> arr_;
+  std::vector<std::pair<std::string, Json>> obj_;
+};
+
+}  // namespace t1map::io

@@ -1,0 +1,91 @@
+// End-to-end smoke tests of the `t1map` driver binary: spawns the real
+// executable (path injected by CMake as T1MAP_CLI_PATH), parses its JSON
+// report, and asserts the paper's headline claim — the T1 configuration
+// beats the plain 4-phase baseline on JJ count.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "io/json.hpp"
+
+namespace t1map {
+namespace {
+
+/// Runs a command line, captures stdout, returns the exit status.
+int run_command(const std::string& command, std::string& stdout_text) {
+  stdout_text.clear();
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) return -1;
+  char buffer[4096];
+  std::size_t n = 0;
+  while ((n = fread(buffer, 1, sizeof(buffer), pipe)) > 0) {
+    stdout_text.append(buffer, n);
+  }
+  return pclose(pipe);
+}
+
+const std::string kCli = T1MAP_CLI_PATH;
+
+TEST(Cli, JsonReportT1BeatsBaselineOnJj) {
+  std::string out;
+  const int status =
+      run_command(kCli + " --gen adder16 --config all --json 2>/dev/null", out);
+  ASSERT_EQ(status, 0) << out;
+
+  // The JSON must parse and carry all three Table-I configurations.
+  const io::Json report = io::Json::parse(out);
+  EXPECT_EQ(report.at("design").as_string(), "adder16");
+  const io::Json& configs = report.at("configs");
+  ASSERT_TRUE(configs.contains("baseline_1phi"));
+  ASSERT_TRUE(configs.contains("baseline_4phi"));
+  ASSERT_TRUE(configs.contains("t1"));
+
+  const io::Json& t1 = configs.at("t1");
+  const io::Json& base4 = configs.at("baseline_4phi");
+  const io::Json& base1 = configs.at("baseline_1phi");
+
+  // Every config was proven equivalent to the source AIG by SAT.
+  EXPECT_EQ(t1.at("cec").as_string(), "equivalent");
+  EXPECT_EQ(base4.at("cec").as_string(), "equivalent");
+  EXPECT_EQ(base1.at("cec").as_string(), "equivalent");
+
+  // The paper's headline claim: T1 substitution reduces JJ area versus the
+  // same-phase baseline, and multiphase crushes the 1-phase DFF count.
+  EXPECT_LT(t1.at("jj_total").as_number(), base4.at("jj_total").as_number());
+  EXPECT_LT(base4.at("dffs").as_number(), base1.at("dffs").as_number());
+  EXPECT_GT(t1.at("t1_used").as_number(), 0);
+}
+
+TEST(Cli, TextReportMentionsAllConfigs) {
+  std::string out;
+  const int status =
+      run_command(kCli + " --gen adder8 --config all 2>/dev/null", out);
+  ASSERT_EQ(status, 0) << out;
+  EXPECT_NE(out.find("baseline_1phi"), std::string::npos);
+  EXPECT_NE(out.find("baseline_4phi"), std::string::npos);
+  EXPECT_NE(out.find("\nt1 "), std::string::npos);
+  EXPECT_NE(out.find("equivalent"), std::string::npos);
+}
+
+TEST(Cli, BadUsageFailsWithDiagnostic) {
+  std::string out;
+  // No input source: exit code 2 (usage error), nothing on stdout.
+  int status = run_command(kCli + " --config all 2>/dev/null", out);
+  EXPECT_NE(status, 0);
+  // Unknown generator: exit code 1 (contract error).
+  status = run_command(kCli + " --gen no_such_gen 2>/dev/null", out);
+  EXPECT_NE(status, 0);
+}
+
+TEST(Cli, ListGensAndHelp) {
+  std::string out;
+  ASSERT_EQ(run_command(kCli + " --list-gens", out), 0);
+  EXPECT_NE(out.find("adder<N>"), std::string::npos);
+  ASSERT_EQ(run_command(kCli + " --help", out), 0);
+  EXPECT_NE(out.find("--config"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace t1map

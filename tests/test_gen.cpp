@@ -215,5 +215,34 @@ TEST(Registry, AllTableNamesBuild) {
   EXPECT_EQ(c6288.num_pos(), 32u);
 }
 
+TEST(Registry, ParametricNames) {
+  // `make_named` accepts Table-I names and <family><width> forms (the
+  // `t1map --gen` grammar).
+  const Aig a16 = make_named("adder16");
+  EXPECT_EQ(a16.num_pis(), 32u);  // 2 x 16 bits (no carry-in)
+  EXPECT_EQ(a16.num_pos(), 17u);  // sum + carry-out
+
+  const Aig m4 = make_named("mul4");
+  EXPECT_EQ(m4.num_pis(), 8u);
+  EXPECT_EQ(m4.num_pos(), 8u);
+
+  const Aig v5 = make_named("voter5");
+  EXPECT_EQ(v5.num_pis(), 5u);
+  EXPECT_EQ(v5.num_pos(), 1u);
+
+  // Registry names still resolve through make_named.
+  const Aig c7552 = make_named("c7552");
+  EXPECT_EQ(c7552.num_pis(), 68u);
+
+  // Bare "adder" resolves to the Table-I benchmark (128 bits).
+  EXPECT_EQ(make_named("adder").num_pis(), 256u);
+  EXPECT_THROW(make_named("frobnicator8"), ContractError);
+  EXPECT_THROW(make_named("adder0"), ContractError);
+  EXPECT_THROW(make_named("16"), ContractError);
+  // Overlong width suffixes must fail the contract, not overflow stoi.
+  EXPECT_THROW(make_named("adder99999999999999"), ContractError);
+  EXPECT_FALSE(describe_generators().empty());
+}
+
 }  // namespace
 }  // namespace t1map::gen
