@@ -1,0 +1,186 @@
+#include "cli/bench.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/require.hpp"
+#include "cut/cut_enum.hpp"
+#include "gen/registry.hpp"
+#include "io/json.hpp"
+#include "sat/cec.hpp"
+#include "t1/flow.hpp"
+
+namespace t1map::cli {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Small circuit subset: quick enough for CI, large enough that every stage
+/// (including SAT CEC) shows measurable time.
+const std::vector<std::string>& small_set() {
+  static const std::vector<std::string> names = {
+      "adder16", "adder64",      "mul8",  "square12",
+      "voter25", "comparator16", "sin12",
+  };
+  return names;
+}
+
+/// min / mean / max over `runs` samples of one stage, in milliseconds.
+struct StageSamples {
+  double min = std::numeric_limits<double>::max();
+  double max = 0.0;
+  double sum = 0.0;
+  long count = 0;
+
+  void add(double seconds) {
+    const double ms = seconds * 1e3;
+    min = std::min(min, ms);
+    max = std::max(max, ms);
+    sum += ms;
+    ++count;
+  }
+  io::Json json() const {
+    io::Json j = io::Json::object();
+    j.set("min_ms", count > 0 ? min : 0.0);
+    j.set("mean_ms", count > 0 ? sum / static_cast<double>(count) : 0.0);
+    j.set("max_ms", count > 0 ? max : 0.0);
+    return j;
+  }
+};
+
+struct CircuitBench {
+  StageSamples cut_enum;  // standalone enumeration on the source AIG
+  StageSamples map;       // technology mapping (includes its own cut enum)
+  StageSamples t1_detect;
+  StageSamples stage_assign;
+  StageSamples dff_insert;
+  StageSamples self_check;
+  StageSamples cec;
+  StageSamples total;
+};
+
+io::Json bench_json(const CircuitBench& b, bool with_cec) {
+  io::Json stages = io::Json::object();
+  stages.set("cut_enum", b.cut_enum.json());
+  stages.set("map", b.map.json());
+  stages.set("t1_detect", b.t1_detect.json());
+  stages.set("stage_assign", b.stage_assign.json());
+  stages.set("dff_insert", b.dff_insert.json());
+  stages.set("self_check", b.self_check.json());
+  if (with_cec) stages.set("cec", b.cec.json());
+  stages.set("total", b.total.json());
+  return stages;
+}
+
+}  // namespace
+
+int run_bench(const Options& opts) {
+  // Option validation guarantees --gen and --bench-set are exclusive;
+  // an empty bench_set means the default small subset.
+  const std::vector<std::string> circuits =
+      !opts.gen_name.empty()
+          ? std::vector<std::string>{opts.gen_name}
+          : (opts.bench_set == "table1" ? gen::table1_names() : small_set());
+
+  t1::FlowParams params;
+  params.num_phases = opts.phases;
+  params.use_t1 = true;
+  params.verify_rounds = opts.verify_rounds;
+
+  io::Json root = io::Json::object();
+  root.set("bench", "flow");
+  root.set("config", "t1");
+  root.set("phases", opts.phases);
+  root.set("runs", opts.bench_runs);
+  root.set("verify_rounds", opts.verify_rounds);
+  root.set("cec", opts.run_cec);
+  io::Json circuits_json = io::Json::object();
+
+  for (const std::string& name : circuits) {
+    std::cerr << "t1map: bench " << name << " (" << opts.bench_runs
+              << " runs) ..." << std::endl;
+    const Aig aig = gen::make_named(name);
+    CircuitBench bench;
+    t1::FlowStats stats;
+
+    for (int run = 0; run < opts.bench_runs; ++run) {
+      Clock::time_point t0 = Clock::now();
+      // Standalone cut enumeration over the source AIG, with the mapper's
+      // parameters.  The mapping stage repeats this internally; timing it
+      // separately isolates the enumerator from the covering DP.
+      {
+        const auto cuts = enumerate_cuts(aig, params.mapper.cuts);
+        bench.cut_enum.add(
+            std::chrono::duration<double>(Clock::now() - t0).count());
+        (void)cuts;
+      }
+
+      t0 = Clock::now();
+      const t1::FlowResult flow = t1::run_flow(aig, params);
+      double run_total =
+          std::chrono::duration<double>(Clock::now() - t0).count();
+      bench.map.add(flow.times.map);
+      bench.t1_detect.add(flow.times.t1_detect);
+      bench.stage_assign.add(flow.times.stage_assign);
+      bench.dff_insert.add(flow.times.dff_insert);
+      bench.self_check.add(flow.times.self_check);
+
+      if (opts.run_cec) {
+        t0 = Clock::now();
+        const sat::CecResult cec =
+            sat::check_equivalence(aig, flow.materialized.netlist);
+        const double cec_s =
+            std::chrono::duration<double>(Clock::now() - t0).count();
+        T1MAP_REQUIRE(cec.verdict == sat::CecResult::Verdict::kEquivalent,
+                      "bench: CEC did not prove equivalence on " + name);
+        bench.cec.add(cec_s);
+        run_total += cec_s;
+      }
+      bench.total.add(run_total);
+      stats = flow.stats;
+    }
+
+    io::Json entry = io::Json::object();
+    io::Json input = io::Json::object();
+    input.set("pis", aig.num_pis());
+    input.set("pos", aig.num_pos());
+    input.set("ands", aig.num_ands());
+    entry.set("input", std::move(input));
+    io::Json stats_json = io::Json::object();
+    stats_json.set("jj_total", stats.area_jj);
+    stats_json.set("dffs", stats.dffs);
+    stats_json.set("depth_cycles", stats.depth_cycles);
+    stats_json.set("t1_found", stats.t1_found);
+    stats_json.set("t1_used", stats.t1_used);
+    entry.set("stats", std::move(stats_json));
+    entry.set("stages", bench_json(bench, opts.run_cec));
+    circuits_json.set(name, std::move(entry));
+
+    std::fprintf(stderr, "t1map: bench %-14s total %.1f ms (mean of %d)\n",
+                 name.c_str(),
+                 bench.total.sum / static_cast<double>(bench.total.count),
+                 opts.bench_runs);
+  }
+  root.set("circuits", std::move(circuits_json));
+
+  if (opts.bench_out == "-") {
+    root.write(std::cout, 2);
+    std::cout << '\n';
+  } else {
+    std::ofstream ofs(opts.bench_out);
+    T1MAP_REQUIRE(ofs.good(), "cannot open for writing: " + opts.bench_out);
+    root.write(ofs, 2);
+    ofs << '\n';
+    std::cerr << "t1map: bench trajectory written to " << opts.bench_out
+              << std::endl;
+  }
+  return 0;
+}
+
+}  // namespace t1map::cli

@@ -1,0 +1,19 @@
+/// \file bench.hpp
+/// \brief The `t1map --bench` harness: per-stage wall-time measurement of
+/// the Table-I flow over a circuit set, written as `BENCH_flow.json`.
+///
+/// Every perf PR runs this to extend the benchmark trajectory; PERF.md
+/// documents the schema and how to read the numbers.
+
+#pragma once
+
+#include "cli/options.hpp"
+
+namespace t1map::cli {
+
+/// Runs the bench harness per `opts` (bench_runs, bench_set / gen_name,
+/// phases, verify_rounds, run_cec) and writes the JSON trajectory to
+/// `opts.bench_out` ("-" = stdout).  Returns the process exit code.
+int run_bench(const Options& opts);
+
+}  // namespace t1map::cli

@@ -53,6 +53,18 @@ Options parse_options(int argc, const char* const* argv) {
       opts.verify_rounds = parse_int(arg, value_of(i), 0, 1 << 20);
     } else if (arg == "--no-cec") {
       opts.run_cec = false;
+    } else if (arg == "--bench") {
+      opts.bench = true;
+    } else if (arg == "--bench-runs") {
+      opts.bench_runs = parse_int(arg, value_of(i), 1, 1000);
+    } else if (arg == "--bench-set") {
+      opts.bench_set = value_of(i);
+      if (opts.bench_set != "small" && opts.bench_set != "table1") {
+        throw UsageError("--bench-set must be small|table1, got '" +
+                         opts.bench_set + "'");
+      }
+    } else if (arg == "--bench-out") {
+      opts.bench_out = value_of(i);
     } else if (arg == "--json") {
       opts.json = true;
     } else if (arg == "--out-blif") {
@@ -71,6 +83,33 @@ Options parse_options(int argc, const char* const* argv) {
   }
 
   if (opts.help || opts.list_gens) return opts;
+  if (opts.bench) {
+    // Bench mode runs a built-in circuit set; --gen narrows it to one
+    // circuit, --blif is not supported there.
+    if (!opts.blif_path.empty()) {
+      throw UsageError("--bench works on generated circuits; use --gen NAME "
+                       "to bench a single one");
+    }
+    if (opts.phases < 3) {
+      throw UsageError("--bench times the t1 configuration and needs "
+                       "--phases >= 3");
+    }
+    if (!opts.gen_name.empty() && !opts.bench_set.empty()) {
+      throw UsageError("--gen benches a single circuit; it conflicts with "
+                       "--bench-set " + opts.bench_set);
+    }
+    // Reject report-mode options bench mode would otherwise ignore.
+    if (opts.config != "all" && opts.config != "t1") {
+      throw UsageError("--bench always times the t1 configuration; "
+                       "--config " + opts.config + " has no effect there");
+    }
+    if (opts.json || opts.paper || !opts.out_blif.empty() ||
+        !opts.out_dot.empty()) {
+      throw UsageError("--json/--paper/--out-blif/--out-dot do not apply to "
+                       "--bench (use --bench-out for the JSON trajectory)");
+    }
+    return opts;
+  }
   if (opts.gen_name.empty() == opts.blif_path.empty()) {
     throw UsageError("exactly one of --gen NAME or --blif FILE is required");
   }
@@ -102,6 +141,13 @@ std::string usage() {
       "  --json                      machine-readable JSON report on stdout\n"
       "  --no-cec                    skip SAT equivalence checking\n"
       "  --verify-rounds N           random-sim self-check rounds (default 8)\n"
+      "  --bench                     measure per-stage wall times and write\n"
+      "                              a BENCH_flow.json trajectory file\n"
+      "  --bench-runs N              repetitions per circuit (default 3)\n"
+      "  --bench-set small|table1    circuit set (default small; table1 runs\n"
+      "                              the paper-size benchmarks)\n"
+      "  --bench-out FILE            bench output path ('-' = stdout;\n"
+      "                              default BENCH_flow.json)\n"
       "  --out-blif FILE             write the mapped netlist as BLIF\n"
       "  --out-dot FILE              write a stage-annotated DOT graph\n"
       "  --paper                     also print the published Table-I row\n"
@@ -109,6 +155,7 @@ std::string usage() {
       "  --help                      this text\n"
       "\n"
       "Examples:\n"
+      "  t1map --bench --bench-runs 5\n"
       "  t1map --gen adder16 --config all\n"
       "  t1map --gen adder16 --config all --json\n"
       "  t1map --gen c6288 --phases 6 --config t1 --out-blif c6288_t1.blif\n"

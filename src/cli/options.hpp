@@ -26,6 +26,12 @@ struct Options {
   int verify_rounds = 8;       // --verify-rounds N (random-sim self-check)
   bool run_cec = true;         // --no-cec skips SAT equivalence checking
 
+  // Bench harness (perf trajectory; see PERF.md).
+  bool bench = false;           // --bench (per-stage wall-time measurement)
+  int bench_runs = 3;           // --bench-runs N (repetitions per circuit)
+  std::string bench_set;        // --bench-set small|table1 (empty = small)
+  std::string bench_out = "BENCH_flow.json";  // --bench-out FILE ("-"=stdout)
+
   // Output.
   bool json = false;      // --json (machine-readable report on stdout)
   std::string out_blif;   // --out-blif FILE (mapped netlist, last config)

@@ -11,6 +11,7 @@
 #include <fstream>
 #include <iostream>
 
+#include "cli/bench.hpp"
 #include "cli/options.hpp"
 #include "cli/report.hpp"
 #include "common/require.hpp"
@@ -65,6 +66,7 @@ int run(const Options& opts) {
     std::cout << gen::describe_generators();
     return 0;
   }
+  if (opts.bench) return run_bench(opts);
 
   Report report;
   report.phases = opts.phases;

@@ -2,12 +2,12 @@
 
 namespace t1map {
 
-bool merge_leaves(const std::vector<std::uint32_t>& a,
-                  const std::vector<std::uint32_t>& b, int k,
-                  std::vector<std::uint32_t>& out) {
+bool merge_leaves(std::span<const std::uint32_t> a,
+                  std::span<const std::uint32_t> b, int k, CutLeaves& out) {
   out.clear();
   std::size_t i = 0;
   std::size_t j = 0;
+  std::size_t count = 0;
   while (i < a.size() || j < b.size()) {
     std::uint32_t next;
     if (j == b.size() || (i < a.size() && a[i] < b[j])) {
@@ -19,14 +19,14 @@ bool merge_leaves(const std::vector<std::uint32_t>& a,
       ++i;
       ++j;
     }
+    if (static_cast<int>(++count) > k) return false;
     out.push_back(next);
-    if (static_cast<int>(out.size()) > k) return false;
   }
   return true;
 }
 
-bool leaves_subset(const std::vector<std::uint32_t>& a,
-                   const std::vector<std::uint32_t>& b) {
+bool leaves_subset(std::span<const std::uint32_t> a,
+                   std::span<const std::uint32_t> b) {
   if (a.size() > b.size()) return false;
   std::size_t j = 0;
   for (const std::uint32_t x : a) {
@@ -36,5 +36,34 @@ bool leaves_subset(const std::vector<std::uint32_t>& a,
   }
   return true;
 }
+
+namespace detail {
+
+void prune_dominated(CutScratch& scratch, int max_cuts) {
+  auto& fresh = scratch.fresh;
+  auto& kept = scratch.kept;  // kept[0] is the trivial cut, never dominated
+
+  std::sort(fresh.begin(), fresh.end(), [](const Cut& x, const Cut& y) {
+    return x.leaves.lex_less(y.leaves);
+  });
+  for (const Cut& cut : fresh) {
+    if (static_cast<int>(kept.size()) - 1 >= max_cuts) break;
+    bool dominated = false;
+    for (std::size_t i = 1; i < kept.size(); ++i) {
+      const Cut& prev = kept[i];
+      // prev precedes cut in (size, lex) order, so prev can only dominate
+      // (or duplicate) cut.  A leaf of prev missing from cut's signature
+      // proves prev ⊄ cut without touching the leaf arrays.
+      if ((prev.sig & ~cut.sig) != 0) continue;
+      if (leaves_subset(prev.leaves, cut.leaves)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) kept.push_back(cut);
+  }
+}
+
+}  // namespace detail
 
 }  // namespace t1map

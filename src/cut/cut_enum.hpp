@@ -8,6 +8,12 @@
 /// which is what both the SFQ technology mapper and the T1 detector match
 /// against.
 ///
+/// Memory layout is flat for speed: leaves live in a fixed-capacity inline
+/// array (k <= 4 is enforced), every cut carries a 64-bit leaf signature so
+/// dominance and dedup checks reject most pairs in one AND, and all retained
+/// cuts of an enumeration are pooled in a single arena (`CutSet`) instead of
+/// one heap vector per node.
+///
 /// The enumerator is generic over a *network view* providing:
 ///   - `size()`                       — number of nodes, ids topological;
 ///   - `cut_is_leaf(id)`              — nodes at which cuts stop (PIs,
@@ -19,7 +25,10 @@
 #pragma once
 
 #include <algorithm>
+#include <array>
 #include <cstdint>
+#include <initializer_list>
+#include <span>
 #include <vector>
 
 #include "common/require.hpp"
@@ -27,15 +36,82 @@
 
 namespace t1map {
 
-/// One cut: sorted leaf node ids plus the root's function over them.
+/// Hard cap on leaves per cut; `CutParams::k` may not exceed it.
+inline constexpr int kMaxCutLeaves = 4;
+
+/// Sorted leaf ids of one cut, stored inline (no heap allocation).
+class CutLeaves {
+ public:
+  using value_type = std::uint32_t;
+  using const_iterator = const std::uint32_t*;
+
+  CutLeaves() = default;
+  CutLeaves(std::initializer_list<std::uint32_t> init) {
+    T1MAP_ASSERT(init.size() <= static_cast<std::size_t>(kMaxCutLeaves));
+    for (const std::uint32_t v : init) push_back(v);
+  }
+
+  const_iterator begin() const { return v_.data(); }
+  const_iterator end() const { return v_.data() + n_; }
+  std::size_t size() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  std::uint32_t operator[](std::size_t i) const {
+    T1MAP_ASSERT(i < n_);
+    return v_[i];
+  }
+  std::uint32_t front() const { return (*this)[0]; }
+  std::uint32_t back() const { return (*this)[n_ - 1]; }
+
+  void clear() { n_ = 0; }
+  void push_back(std::uint32_t x) {
+    T1MAP_ASSERT(n_ < kMaxCutLeaves);
+    v_[n_++] = x;
+  }
+
+  operator std::span<const std::uint32_t>() const { return {v_.data(), n_}; }
+
+  bool operator==(const CutLeaves& o) const {
+    if (n_ != o.n_) return false;
+    for (std::uint8_t i = 0; i < n_; ++i) {
+      if (v_[i] != o.v_[i]) return false;
+    }
+    return true;
+  }
+  /// Comparison against any contiguous id sequence (vectors in tests).
+  friend bool operator==(const CutLeaves& a,
+                         std::span<const std::uint32_t> b) {
+    return a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
+  }
+  /// Lexicographic, sizes first — the canonical cut-set order.
+  bool lex_less(const CutLeaves& o) const {
+    if (n_ != o.n_) return n_ < o.n_;
+    for (std::uint8_t i = 0; i < n_; ++i) {
+      if (v_[i] != o.v_[i]) return v_[i] < o.v_[i];
+    }
+    return false;
+  }
+
+ private:
+  std::array<std::uint32_t, kMaxCutLeaves> v_{};
+  std::uint8_t n_ = 0;
+};
+
+/// One cut: sorted leaf ids, a 64-bit leaf signature (bit `id mod 64` per
+/// leaf) and the root's function over the leaves.
 struct Cut {
-  std::vector<std::uint32_t> leaves;
+  CutLeaves leaves;
+  std::uint64_t sig = 0;
   Tt tt;
 
   bool is_trivial(std::uint32_t root) const {
     return leaves.size() == 1 && leaves[0] == root;
   }
 };
+
+/// Signature of a single leaf id.
+inline std::uint64_t leaf_sig(std::uint32_t id) {
+  return 1ull << (id & 63u);
+}
 
 /// Tuning knobs for enumeration.
 struct CutParams {
@@ -46,32 +122,99 @@ struct CutParams {
   int max_cuts = 16;
 };
 
-/// Merges two sorted leaf vectors; returns false if the union exceeds `k`.
-bool merge_leaves(const std::vector<std::uint32_t>& a,
-                  const std::vector<std::uint32_t>& b, int k,
-                  std::vector<std::uint32_t>& out);
+/// Merges two sorted leaf lists; returns false if the union exceeds `k`.
+bool merge_leaves(std::span<const std::uint32_t> a,
+                  std::span<const std::uint32_t> b, int k, CutLeaves& out);
 
 /// True if `a`'s leaves are a subset of `b`'s (then `a` dominates `b`).
-bool leaves_subset(const std::vector<std::uint32_t>& a,
-                   const std::vector<std::uint32_t>& b);
+bool leaves_subset(std::span<const std::uint32_t> a,
+                   std::span<const std::uint32_t> b);
+
+/// All cuts of every node, pooled in one arena.  Indexed by node id; the
+/// trivial cut is always the first entry of each non-empty set.
+class CutSet {
+ public:
+  std::span<const Cut> operator[](std::size_t node) const {
+    const Range& r = ranges_[node];
+    return {pool_.data() + r.offset, r.count};
+  }
+  std::size_t size() const { return ranges_.size(); }
+  /// Total cuts stored, all nodes included.
+  std::size_t total_cuts() const { return pool_.size(); }
+
+  // --- Builder interface (used by enumerate_cuts) --------------------------
+
+  void reset(std::size_t num_nodes) {
+    pool_.clear();
+    pool_.reserve(num_nodes * 4);
+    ranges_.assign(num_nodes, Range{});
+  }
+  /// Appends `cuts` as the cut set of `node`.  Nodes must be added at most
+  /// once; un-added nodes read back as empty sets.
+  void set_node_cuts(std::uint32_t node, std::span<const Cut> cuts) {
+    ranges_[node] =
+        Range{static_cast<std::uint32_t>(pool_.size()),
+              static_cast<std::uint32_t>(cuts.size())};
+    pool_.insert(pool_.end(), cuts.begin(), cuts.end());
+  }
+
+ private:
+  struct Range {
+    std::uint32_t offset = 0;
+    std::uint32_t count = 0;
+  };
+  std::vector<Cut> pool_;
+  std::vector<Range> ranges_;
+};
+
+namespace detail {
+
+/// Scratch state reused across nodes of one enumeration.
+struct CutScratch {
+  std::vector<Cut> fresh;
+  std::vector<Cut> kept;
+};
+
+/// The cut function re-expressed over the superset leaf list `to`.  Both
+/// lists are sorted (`cut.leaves` ⊆ `to`), so equal sizes mean identical
+/// lists and the remap is skipped entirely.
+inline Tt expand_cut_tt(const Cut& cut, const CutLeaves& to) {
+  if (cut.leaves.size() == to.size()) return cut.tt;
+  return expand_to_leaves(cut.tt, cut.leaves, to);
+}
+
+/// Dominance filter: `scratch.fresh` (sorted by size then lex leaves) is
+/// reduced into `scratch.kept`, dropping duplicates and dominated cuts.
+/// The signature test rejects most pairs before any element compare.
+void prune_dominated(CutScratch& scratch, int max_cuts);
+
+}  // namespace detail
 
 /// All cuts of every node.  Result is indexed by node id; the trivial cut is
 /// always the first entry of each non-empty set.
 template <class Ntk>
-std::vector<std::vector<Cut>> enumerate_cuts(const Ntk& ntk,
-                                             const CutParams& params = {}) {
-  T1MAP_REQUIRE(params.k >= 1 && params.k <= 4,
+CutSet enumerate_cuts(const Ntk& ntk, const CutParams& params = {}) {
+  T1MAP_REQUIRE(params.k >= 1 && params.k <= kMaxCutLeaves,
                 "cut size must be between 1 and 4");
   const std::size_t n = ntk.size();
-  std::vector<std::vector<Cut>> cuts(n);
+  CutSet cuts;
+  cuts.reset(n);
 
-  std::vector<std::uint32_t> merged;
+  detail::CutScratch scratch;
+  scratch.fresh.reserve(
+      static_cast<std::size_t>(params.max_cuts) * params.max_cuts + 1);
+  scratch.kept.reserve(params.max_cuts + 1);
+  CutLeaves merged;
+  CutLeaves all;
+
   for (std::uint32_t node = 0; node < n; ++node) {
-    auto& node_cuts = cuts[node];
-
     // Trivial cut first: the node itself as a single leaf.
-    node_cuts.push_back(Cut{{node}, Tt::var(1, 0)});
-    if (ntk.cut_is_leaf(node)) continue;
+    scratch.kept.clear();
+    scratch.kept.push_back(Cut{{node}, leaf_sig(node), Tt::var(1, 0)});
+    if (ntk.cut_is_leaf(node)) {
+      cuts.set_node_cuts(node, scratch.kept);
+      continue;
+    }
 
     std::uint32_t fanin[3];
     int nf = 0;
@@ -80,65 +223,66 @@ std::vector<std::vector<Cut>> enumerate_cuts(const Ntk& ntk,
     const Tt local = ntk.cut_local_tt(node);
     T1MAP_ASSERT(local.num_vars() == nf);
 
-    std::vector<Cut> fresh;
-    // Cross-merge the fanins' cut sets.
-    const auto& c0 = cuts[fanin[0]];
-    const auto& c1 = nf >= 2 ? cuts[fanin[1]] : cuts[fanin[0]];
-    const auto& c2 = nf >= 3 ? cuts[fanin[2]] : cuts[fanin[0]];
-    for (const Cut& a : c0) {
-      for (const Cut& b : c1) {
-        if (nf >= 2 && !merge_leaves(a.leaves, b.leaves, params.k, merged)) {
-          continue;
+    scratch.fresh.clear();
+    // Arity-specialized cross-merge of the fanins' cut sets.  Spans into the
+    // arena stay valid: nothing is appended until the node is finished.
+    const std::span<const Cut> c0 = cuts[fanin[0]];
+    switch (nf) {
+      case 1: {
+        // Single fanin: every cut carries over with the local function
+        // (BUF/NOT) applied on top; the leaf set is unchanged.
+        for (const Cut& a : c0) {
+          const Tt fanin_tt[1] = {a.tt};
+          scratch.fresh.push_back(
+              Cut{a.leaves, a.sig,
+                  compose(local, std::span<const Tt>(fanin_tt, 1))});
         }
-        std::vector<std::uint32_t> ab =
-            nf >= 2 ? merged : a.leaves;  // 1-fanin nodes reuse a's leaves
-        for (const Cut& c : c2) {
-          std::vector<std::uint32_t> all;
-          if (nf >= 3) {
-            if (!merge_leaves(ab, c.leaves, params.k, merged)) continue;
-            all = merged;
-          } else {
-            all = ab;
+        break;
+      }
+      case 2: {
+        const std::span<const Cut> c1 = cuts[fanin[1]];
+        for (const Cut& a : c0) {
+          for (const Cut& b : c1) {
+            const std::uint64_t sig = a.sig | b.sig;
+            if (__builtin_popcountll(sig) > params.k) continue;
+            if (!merge_leaves(a.leaves, b.leaves, params.k, merged)) continue;
+            Tt fanin_tts[2] = {detail::expand_cut_tt(a, merged),
+                               detail::expand_cut_tt(b, merged)};
+            scratch.fresh.push_back(
+                Cut{merged, sig,
+                    compose(local, std::span<const Tt>(fanin_tts, 2))});
           }
-          // Compose the node function over the union leaf set.
-          Tt fanin_tts_storage[3];
-          const int width = static_cast<int>(all.size());
-          fanin_tts_storage[0] = expand_to_leaves(a.tt, a.leaves, all);
-          if (nf >= 2) {
-            fanin_tts_storage[1] = expand_to_leaves(b.tt, b.leaves, all);
-          }
-          if (nf >= 3) {
-            fanin_tts_storage[2] = expand_to_leaves(c.tt, c.leaves, all);
-          }
-          (void)width;
-          Tt tt = compose(local, std::span<const Tt>(fanin_tts_storage, nf));
-          fresh.push_back(Cut{std::move(all), tt});
-          if (nf < 3) break;  // inner loop is a placeholder for nf < 3
         }
-        if (nf < 2) break;
+        break;
+      }
+      default: {
+        T1MAP_ASSERT(nf == 3);
+        const std::span<const Cut> c1 = cuts[fanin[1]];
+        const std::span<const Cut> c2 = cuts[fanin[2]];
+        for (const Cut& a : c0) {
+          for (const Cut& b : c1) {
+            const std::uint64_t sig_ab = a.sig | b.sig;
+            if (__builtin_popcountll(sig_ab) > params.k) continue;
+            if (!merge_leaves(a.leaves, b.leaves, params.k, merged)) continue;
+            for (const Cut& c : c2) {
+              const std::uint64_t sig = sig_ab | c.sig;
+              if (__builtin_popcountll(sig) > params.k) continue;
+              if (!merge_leaves(merged, c.leaves, params.k, all)) continue;
+              Tt fanin_tts[3] = {detail::expand_cut_tt(a, all),
+                                 detail::expand_cut_tt(b, all),
+                                 detail::expand_cut_tt(c, all)};
+              scratch.fresh.push_back(
+                  Cut{all, sig,
+                      compose(local, std::span<const Tt>(fanin_tts, 3))});
+            }
+          }
+        }
+        break;
       }
     }
 
-    // Deduplicate by leaf set and apply dominance pruning: a cut whose
-    // leaves are a subset of another's makes the larger one redundant.
-    std::sort(fresh.begin(), fresh.end(), [](const Cut& x, const Cut& y) {
-      return x.leaves.size() != y.leaves.size()
-                 ? x.leaves.size() < y.leaves.size()
-                 : x.leaves < y.leaves;
-    });
-    std::vector<Cut> kept;
-    for (auto& cut : fresh) {
-      bool dominated = false;
-      for (const Cut& prev : kept) {
-        if (prev.leaves == cut.leaves || leaves_subset(prev.leaves, cut.leaves)) {
-          dominated = true;
-          break;
-        }
-      }
-      if (!dominated) kept.push_back(std::move(cut));
-      if (static_cast<int>(kept.size()) >= params.max_cuts) break;
-    }
-    for (auto& cut : kept) node_cuts.push_back(std::move(cut));
+    detail::prune_dominated(scratch, params.max_cuts);
+    cuts.set_node_cuts(node, scratch.kept);
   }
   return cuts;
 }

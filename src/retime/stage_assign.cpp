@@ -83,29 +83,60 @@ T1Releases solve_t1_releases(const std::array<int, 3>& producer_stage,
   T1MAP_REQUIRE(n >= 3, "T1 cells require at least 3 clock phases");
   const int window_lo = sigma_t1 - n;
   const int window_hi = sigma_t1 - 1;
+  constexpr long kInfeasible = std::numeric_limits<long>::max();
 
-  const auto edge_cost = [&](int j, int r) -> long {
+  // Per-input release cost over the window, computed once: 0 when the
+  // producer itself releases at r, else one dedicated chain ending at r.
+  // Slots before the producer are infeasible.  This runs in the innermost
+  // loops of stage optimization, so the window lives on the stack for the
+  // phase counts the CLI admits.
+  constexpr int kStackWindow = 64;
+  long stack_buf[3 * kStackWindow];
+  std::vector<long> heap_buf;
+  long* cost = stack_buf;
+  if (n > kStackWindow) {
+    heap_buf.resize(3 * static_cast<std::size_t>(n));
+    cost = heap_buf.data();
+  }
+  for (int j = 0; j < 3; ++j) {
     const int s = producer_stage[j];
-    if (r == s) return 0;               // released by the producer itself
-    T1MAP_ASSERT(r > s);
-    return ceil_div(r - s, n);          // dedicated chain ending at r
-  };
+    for (int r = window_lo; r <= window_hi; ++r) {
+      long& slot = cost[j * n + (r - window_lo)];
+      if (r < s) {
+        slot = kInfeasible;
+      } else if (r == s) {
+        slot = 0;  // released by the producer itself
+      } else {
+        slot = ceil_div(r - s, n);  // dedicated chain ending at r
+      }
+    }
+  }
+  const long* cost0 = cost;
+  const long* cost1 = cost + n;
+  const long* cost2 = cost + 2 * n;
 
-  T1Releases best{{0, 0, 0}, std::numeric_limits<long>::max()};
-  for (int r0 = window_lo; r0 <= window_hi; ++r0) {
-    if (r0 < producer_stage[0]) continue;
-    for (int r1 = window_lo; r1 <= window_hi; ++r1) {
-      if (r1 < producer_stage[1] || r1 == r0) continue;
-      for (int r2 = window_lo; r2 <= window_hi; ++r2) {
-        if (r2 < producer_stage[2] || r2 == r0 || r2 == r1) continue;
-        const long cost = edge_cost(0, r0) + edge_cost(1, r1) + edge_cost(2, r2);
-        if (cost < best.dffs) {
-          best = T1Releases{{r0, r1, r2}, cost};
+  // Lexicographically-first minimum over distinct (r0, r1, r2); partial
+  // sums already at or above the best prune whole subtrees (costs are
+  // non-negative, so they cannot recover).
+  T1Releases best{{0, 0, 0}, kInfeasible};
+  for (int i0 = 0; i0 < n; ++i0) {
+    const long c0 = cost0[i0];
+    if (c0 == kInfeasible || c0 >= best.dffs) continue;
+    for (int i1 = 0; i1 < n; ++i1) {
+      const long c1 = cost1[i1];
+      if (i1 == i0 || c1 == kInfeasible || c0 + c1 >= best.dffs) continue;
+      for (int i2 = 0; i2 < n; ++i2) {
+        const long c2 = cost2[i2];
+        if (i2 == i0 || i2 == i1 || c2 == kInfeasible) continue;
+        const long total = c0 + c1 + c2;
+        if (total < best.dffs) {
+          best = T1Releases{{window_lo + i0, window_lo + i1, window_lo + i2},
+                            total};
         }
       }
     }
   }
-  T1MAP_REQUIRE(best.dffs != std::numeric_limits<long>::max(),
+  T1MAP_REQUIRE(best.dffs != kInfeasible,
                 "T1 release assignment infeasible: eq. (3) violated");
   return best;
 }
@@ -182,7 +213,7 @@ DffCount count_dffs(const Netlist& ntk, const StageAssignment& sa) {
 namespace {
 
 /// ASAP pass: earliest legal stage per node in topological (id) order.
-void asap(const Netlist& ntk, int n, std::vector<int>& sigma) {
+void asap(const Netlist& ntk, std::vector<int>& sigma) {
   sigma.assign(ntk.num_nodes(), 0);
   for (std::uint32_t v = 0; v < ntk.num_nodes(); ++v) {
     const CellKind k = ntk.kind(v);
@@ -310,7 +341,7 @@ StageAssignment assign_stages(const Netlist& ntk, const StageParams& params) {
 
   StageAssignment sa;
   sa.num_phases = params.num_phases;
-  asap(ntk, params.num_phases, sa.sigma);
+  asap(ntk, sa.sigma);
 
   sa.sigma_po = 1;
   for (const auto& po : ntk.pos()) {

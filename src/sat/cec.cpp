@@ -6,7 +6,10 @@ namespace t1map::sat {
 
 namespace {
 
-/// Asserts "some pair differs" and solves.
+/// Proves the miter output pair by output pair, sharing one CNF and all
+/// learned clauses: each pair's difference literal is assumed true and
+/// refuted incrementally.  This keeps every sub-proof inside the cone of
+/// one output instead of attacking the disjunction of all differences.
 CecResult solve_miter(Solver& solver, std::uint32_t num_pis,
                       std::span<const Lit> pi_lits,
                       std::span<const Lit> out_a, std::span<const Lit> out_b,
@@ -18,29 +21,32 @@ CecResult solve_miter(Solver& solver, std::uint32_t num_pis,
     encode_xor2(solver, d, out_a[i], out_b[i]);
     diffs.push_back(d);
   }
-  solver.add_clause(diffs);  // at least one difference
 
   const std::int64_t before = solver.num_conflicts();
-  const Solver::Result r = solver.solve(conflict_limit);
   CecResult result;
-  result.conflicts = solver.num_conflicts() - before;
-  switch (r) {
-    case Solver::Result::kUnsat:
-      result.verdict = CecResult::Verdict::kEquivalent;
-      break;
-    case Solver::Result::kSat: {
+  result.verdict = CecResult::Verdict::kEquivalent;
+  for (const Lit d : diffs) {
+    const std::int64_t remaining =
+        conflict_limit < 0
+            ? -1
+            : std::max<std::int64_t>(
+                  0, conflict_limit - (solver.num_conflicts() - before));
+    const Lit assumption[1] = {d};
+    const Solver::Result r = solver.solve(assumption, remaining);
+    if (r == Solver::Result::kUnsat) continue;  // this pair is equivalent
+    if (r == Solver::Result::kSat) {
       result.verdict = CecResult::Verdict::kNotEquivalent;
       result.counterexample.reserve(num_pis);
       for (std::uint32_t i = 0; i < num_pis; ++i) {
         result.counterexample.push_back(
             solver.model_value(lit_var(pi_lits[i])));
       }
-      break;
-    }
-    case Solver::Result::kUnknown:
+    } else {
       result.verdict = CecResult::Verdict::kUnknown;
-      break;
+    }
+    break;
   }
+  result.conflicts = solver.num_conflicts() - before;
   return result;
 }
 
@@ -106,6 +112,10 @@ CecResult check_equivalence(const Aig& aig, const sfq::Netlist& ntk,
                             std::int64_t conflict_limit) {
   T1MAP_REQUIRE(aig.num_pis() == ntk.num_pis(), "CEC: PI count mismatch");
   Solver solver;
+  // Rough CNF size hint: one variable per node plus ~a dozen literals each
+  // (3 ternary clauses per AND, up to 2^3 rows per mapped cell).
+  const std::size_t nodes = aig.num_nodes() + ntk.num_nodes();
+  solver.reserve(static_cast<int>(nodes + aig.num_pos() + 1), 12 * nodes);
   std::vector<Lit> pis;
   for (std::uint32_t i = 0; i < aig.num_pis(); ++i) {
     pis.push_back(fresh_lit(solver));
@@ -120,6 +130,8 @@ CecResult check_equivalence(const Aig& a, const Aig& b,
                             std::int64_t conflict_limit) {
   T1MAP_REQUIRE(a.num_pis() == b.num_pis(), "CEC: PI count mismatch");
   Solver solver;
+  const std::size_t nodes = a.num_nodes() + b.num_nodes();
+  solver.reserve(static_cast<int>(nodes + a.num_pos() + 1), 12 * nodes);
   std::vector<Lit> pis;
   for (std::uint32_t i = 0; i < a.num_pis(); ++i) {
     pis.push_back(fresh_lit(solver));

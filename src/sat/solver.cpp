@@ -30,11 +30,121 @@ int Solver::new_var() {
   saved_phase_.push_back(-1);  // default polarity: false (good for Tseitin)
   level_.push_back(0);
   reason_.push_back(kNoReason);
-  activity_.push_back(0.0);
+  // Tiny index-decreasing bias so activity ties branch on low-index
+  // variables first (the PIs in a miter), like the pre-heap linear scan;
+  // any real bump (var_inc_ >= 1) immediately dominates it.
+  activity_.push_back(-1e-9 * v);
   seen_.push_back(0);
   watches_.emplace_back();
   watches_.emplace_back();
+  // Tseitin cells watch each variable a handful of times; pre-sizing the
+  // lists removes the growth reallocations during CNF construction.
+  watches_[2 * v].reserve(4);
+  watches_[2 * v + 1].reserve(4);
+  heap_pos_.push_back(-1);
+  heap_insert(v);
   return v;
+}
+
+void Solver::reserve(int num_vars, std::size_t num_literals) {
+  const auto n = static_cast<std::size_t>(num_vars);
+  assign_.reserve(n);
+  model_.reserve(n);
+  saved_phase_.reserve(n);
+  level_.reserve(n);
+  reason_.reserve(n);
+  activity_.reserve(n);
+  seen_.reserve(n);
+  watches_.reserve(2 * n);
+  heap_pos_.reserve(n);
+  heap_.reserve(n);
+  trail_.reserve(n);
+  if (num_literals > 0) lit_pool_.reserve(num_literals);
+}
+
+// --- Variable-order heap (max-heap on activity) ------------------------------
+
+void Solver::heap_insert(int var) {
+  if (heap_contains(var)) return;
+  heap_pos_[var] = static_cast<int>(heap_.size());
+  heap_.push_back(var);
+  heap_sift_up(heap_pos_[var]);
+}
+
+void Solver::heap_sift_up(int i) {
+  const int var = heap_[i];
+  const double act = activity_[var];
+  while (i > 0) {
+    const int parent = (i - 1) >> 1;
+    if (activity_[heap_[parent]] >= act) break;
+    heap_[i] = heap_[parent];
+    heap_pos_[heap_[i]] = i;
+    i = parent;
+  }
+  heap_[i] = var;
+  heap_pos_[var] = i;
+}
+
+void Solver::heap_sift_down(int i) {
+  const int var = heap_[i];
+  const double act = activity_[var];
+  const int n = static_cast<int>(heap_.size());
+  for (;;) {
+    int child = 2 * i + 1;
+    if (child >= n) break;
+    if (child + 1 < n &&
+        activity_[heap_[child + 1]] > activity_[heap_[child]]) {
+      ++child;
+    }
+    if (activity_[heap_[child]] <= act) break;
+    heap_[i] = heap_[child];
+    heap_pos_[heap_[i]] = i;
+    i = child;
+  }
+  heap_[i] = var;
+  heap_pos_[var] = i;
+}
+
+int Solver::heap_pop() {
+  const int top = heap_[0];
+  heap_pos_[top] = -1;
+  const int last = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    heap_[0] = last;
+    heap_pos_[last] = 0;
+    heap_sift_down(0);
+  }
+  return top;
+}
+
+// --- Clause arena ------------------------------------------------------------
+
+Solver::ClauseRef Solver::alloc_clause(std::span<const Lit> lits,
+                                       bool learned) {
+  const ClauseRef cr = static_cast<ClauseRef>(clauses_.size());
+  Clause c;
+  c.offset = static_cast<std::uint32_t>(lit_pool_.size());
+  c.size = static_cast<std::uint32_t>(lits.size());
+  c.activity = learned ? static_cast<float>(clause_inc_) : 0.0f;
+  c.learned = learned;
+  lit_pool_.insert(lit_pool_.end(), lits.begin(), lits.end());
+  clauses_.push_back(c);
+  return cr;
+}
+
+void Solver::compact_pool() {
+  std::vector<Lit> live;
+  live.reserve(lit_pool_.size() - wasted_lits_);
+  for (Clause& c : clauses_) {
+    if (c.deleted) continue;
+    const std::uint32_t offset = static_cast<std::uint32_t>(live.size());
+    live.insert(live.end(), lit_pool_.begin() + c.offset,
+                lit_pool_.begin() + c.offset + c.size);
+    c.offset = offset;
+  }
+  lit_pool_ = std::move(live);
+  wasted_lits_ = 0;
 }
 
 bool Solver::add_clause(std::span<const Lit> lits_in) {
@@ -42,10 +152,11 @@ bool Solver::add_clause(std::span<const Lit> lits_in) {
   if (unsat_) return false;
 
   // Simplify: sort, dedupe, drop false literals, detect tautologies.
-  std::vector<Lit> lits(lits_in.begin(), lits_in.end());
+  add_tmp_.assign(lits_in.begin(), lits_in.end());
+  auto& lits = add_tmp_;
   std::sort(lits.begin(), lits.end());
   lits.erase(std::unique(lits.begin(), lits.end()), lits.end());
-  std::vector<Lit> result;
+  std::size_t keep = 0;
   for (std::size_t i = 0; i < lits.size(); ++i) {
     const Lit l = lits[i];
     T1MAP_REQUIRE(lit_var(l) >= 0 && lit_var(l) < num_vars(),
@@ -54,20 +165,21 @@ bool Solver::add_clause(std::span<const Lit> lits_in) {
     if (i > 0 && lits[i - 1] == (l ^ 1)) return true;
     if (value(l) == 1 && level_[lit_var(l)] == 0) return true;  // satisfied
     if (value(l) == -1 && level_[lit_var(l)] == 0) continue;    // falsified
-    result.push_back(l);
+    lits[keep++] = l;
   }
+  lits.resize(keep);
 
-  if (result.empty()) {
+  if (lits.empty()) {
     unsat_ = true;
     return false;
   }
-  if (result.size() == 1) {
-    if (value(result[0]) == -1) {
+  if (lits.size() == 1) {
+    if (value(lits[0]) == -1) {
       unsat_ = true;
       return false;
     }
-    if (value(result[0]) == 0) {
-      enqueue(result[0], kNoReason);
+    if (value(lits[0]) == 0) {
+      enqueue(lits[0], kNoReason);
       if (propagate() != kNoReason) {
         unsat_ = true;
         return false;
@@ -76,17 +188,16 @@ bool Solver::add_clause(std::span<const Lit> lits_in) {
     return true;
   }
 
-  const ClauseRef cr = static_cast<ClauseRef>(clauses_.size());
-  clauses_.push_back(Clause{std::move(result), 0.0, false, false});
-  attach(cr);
+  attach(alloc_clause(lits, /*learned=*/false));
   return true;
 }
 
 void Solver::attach(ClauseRef cr) {
-  const auto& lits = clauses_[cr].lits;
+  const auto lits = clause_lits(cr);
   T1MAP_ASSERT(lits.size() >= 2);
-  watches_[lit_negate(lits[0])].push_back(cr);
-  watches_[lit_negate(lits[1])].push_back(cr);
+  const bool binary = lits.size() == 2;
+  watches_[lit_negate(lits[0])].push_back(make_watcher(cr, lits[1], binary));
+  watches_[lit_negate(lits[1])].push_back(make_watcher(cr, lits[0], binary));
 }
 
 void Solver::enqueue(Lit l, ClauseRef reason) {
@@ -105,25 +216,46 @@ Solver::ClauseRef Solver::propagate() {
     auto& ws = watches_[p];  // clauses in which ~p is watched
     std::size_t keep = 0;
     for (std::size_t i = 0; i < ws.size(); ++i) {
-      const ClauseRef cr = ws[i];
-      Clause& c = clauses_[cr];
+      const Watcher w = ws[i];
+      // Blocker check: clause already satisfied, body untouched.
+      if (value(w.blocker) == 1) {
+        ws[keep++] = w;
+        continue;
+      }
+      const ClauseRef cr = watcher_cr(w);
+      if (watcher_binary(w)) {
+        // Binary clause: the blocker is the whole rest of the clause, so
+        // this is a unit or a conflict without loading the arena.
+        if (value(w.blocker) == -1) {
+          for (; i < ws.size(); ++i) ws[keep++] = ws[i];
+          ws.resize(keep);
+          qhead_ = trail_.size();
+          return cr;
+        }
+        enqueue(w.blocker, cr);
+        ws[keep++] = w;
+        continue;
+      }
+      const Clause& c = clauses_[cr];
       if (c.deleted) continue;  // dropped lazily
-      auto& lits = c.lits;
+      Lit* lits = lit_pool_.data() + c.offset;
       const Lit false_lit = lit_negate(p);
       // Normalize: watched false literal at position 1.
       if (lits[0] == false_lit) std::swap(lits[0], lits[1]);
       T1MAP_ASSERT(lits[1] == false_lit);
 
-      if (value(lits[0]) == 1) {  // clause already satisfied
-        ws[keep++] = cr;
+      const Lit first = lits[0];
+      if (first != w.blocker && value(first) == 1) {  // satisfied
+        ws[keep++] = make_watcher(cr, first, false);
         continue;
       }
       // Look for a replacement watch.
       bool moved = false;
-      for (std::size_t k = 2; k < lits.size(); ++k) {
+      for (std::uint32_t k = 2; k < c.size; ++k) {
         if (value(lits[k]) != -1) {
           std::swap(lits[1], lits[k]);
-          watches_[lit_negate(lits[1])].push_back(cr);
+          watches_[lit_negate(lits[1])].push_back(
+              make_watcher(cr, first, false));
           moved = true;
           break;
         }
@@ -131,15 +263,15 @@ Solver::ClauseRef Solver::propagate() {
       if (moved) continue;
 
       // Unit or conflicting.
-      if (value(lits[0]) == -1) {
+      if (value(first) == -1) {
         // Conflict: keep remaining watches and bail out.
         for (; i < ws.size(); ++i) ws[keep++] = ws[i];
         ws.resize(keep);
         qhead_ = trail_.size();
         return cr;
       }
-      enqueue(lits[0], cr);
-      ws[keep++] = cr;
+      enqueue(first, cr);
+      ws[keep++] = make_watcher(cr, first, false);
     }
     ws.resize(keep);
   }
@@ -158,9 +290,8 @@ void Solver::analyze(ClauseRef conflict, std::vector<Lit>& learned,
 
   do {
     T1MAP_ASSERT(reason != kNoReason);
-    Clause& c = clauses_[reason];
-    if (c.learned) bump_clause(c);
-    for (const Lit q : c.lits) {
+    if (clauses_[reason].learned) bump_clause(reason);
+    for (const Lit q : clause_lits(reason)) {
       if (p != -1 && q == p) continue;
       const int v = lit_var(q);
       if (seen_[v] || level_[v] == 0) continue;
@@ -184,7 +315,7 @@ void Solver::analyze(ClauseRef conflict, std::vector<Lit>& learned,
 
   // Cheap clause minimization: drop literals implied by the rest at level 0
   // or whose reason's literals are all already in the clause.
-  std::vector<Lit> all_learned(learned.begin() + 1, learned.end());
+  analyze_tmp_.assign(learned.begin() + 1, learned.end());
   std::size_t keep = 1;
   for (std::size_t i = 1; i < learned.size(); ++i) {
     const int v = lit_var(learned[i]);
@@ -192,7 +323,7 @@ void Solver::analyze(ClauseRef conflict, std::vector<Lit>& learned,
     bool redundant = false;
     if (r != kNoReason) {
       redundant = true;
-      for (const Lit q : clauses_[r].lits) {
+      for (const Lit q : clause_lits(r)) {
         const int qv = lit_var(q);
         if (qv == v || level_[qv] == 0) continue;
         if (!seen_[qv]) {
@@ -217,7 +348,7 @@ void Solver::analyze(ClauseRef conflict, std::vector<Lit>& learned,
 
   // Clear marks for every literal that was in the pre-minimization clause,
   // including the ones minimization removed.
-  for (const Lit l : all_learned) seen_[lit_var(l)] = 0;
+  for (const Lit l : analyze_tmp_) seen_[lit_var(l)] = 0;
 }
 
 void Solver::backtrack(int target) {
@@ -228,6 +359,7 @@ void Solver::backtrack(int target) {
       saved_phase_[v] = assign_[v];
       assign_[v] = 0;
       reason_[v] = kNoReason;
+      heap_insert(v);
     }
     trail_.resize(begin);
     trail_lim_.pop_back();
@@ -236,16 +368,11 @@ void Solver::backtrack(int target) {
 }
 
 Lit Solver::pick_branch() {
-  int best = -1;
-  double best_act = -1.0;
-  for (int v = 0; v < num_vars(); ++v) {
-    if (assign_[v] == 0 && activity_[v] > best_act) {
-      best_act = activity_[v];
-      best = v;
-    }
+  while (!heap_.empty()) {
+    const int v = heap_pop();
+    if (assign_[v] == 0) return mk_lit(v, saved_phase_[v] <= 0);
   }
-  if (best < 0) return -1;
-  return mk_lit(best, saved_phase_[best] <= 0);
+  return -1;
 }
 
 void Solver::bump_var(int var) {
@@ -253,13 +380,15 @@ void Solver::bump_var(int var) {
   if (activity_[var] > 1e100) {
     for (double& a : activity_) a *= 1e-100;
     var_inc_ *= 1e-100;
+    // A global rescale preserves the heap order; no fix-up needed.
   }
+  if (heap_contains(var)) heap_sift_up(heap_pos_[var]);
 }
 
-void Solver::bump_clause(Clause& c) {
-  c.activity += clause_inc_;
-  if (c.activity > 1e20) {
-    for (const ClauseRef cr : learned_refs_) clauses_[cr].activity *= 1e-20;
+void Solver::bump_clause(ClauseRef cr) {
+  clauses_[cr].activity += static_cast<float>(clause_inc_);
+  if (clauses_[cr].activity > 1e20f) {
+    for (const ClauseRef r : learned_refs_) clauses_[r].activity *= 1e-20f;
     clause_inc_ *= 1e-20;
   }
 }
@@ -267,6 +396,11 @@ void Solver::bump_clause(Clause& c) {
 void Solver::decay_activities() {
   var_inc_ /= 0.95;
   clause_inc_ /= 0.999;
+  if (clause_inc_ > 1e20) {
+    // Keep increments within float range even if no clause is ever bumped.
+    for (const ClauseRef r : learned_refs_) clauses_[r].activity *= 1e-20f;
+    clause_inc_ *= 1e-20;
+  }
 }
 
 void Solver::reduce_learned() {
@@ -284,10 +418,9 @@ void Solver::reduce_learned() {
   std::size_t removed = 0;
   for (std::size_t i = 0; i < sorted.size() / 2; ++i) {
     Clause& c = clauses_[sorted[i]];
-    if (c.lits.size() <= 2 || is_reason[sorted[i]] || c.deleted) continue;
+    if (c.size <= 2 || is_reason[sorted[i]] || c.deleted) continue;
     c.deleted = true;
-    c.lits.clear();
-    c.lits.shrink_to_fit();
+    wasted_lits_ += c.size;
     ++removed;
   }
   if (removed > 0) {
@@ -296,14 +429,18 @@ void Solver::reduce_learned() {
                        [&](ClauseRef cr) { return clauses_[cr].deleted; }),
         learned_refs_.end());
   }
+  // Reclaim the arena once deleted clauses own most of it.
+  if (wasted_lits_ > lit_pool_.size() / 2) compact_pool();
 }
 
-Solver::Result Solver::solve(std::int64_t conflict_limit) {
+Solver::Result Solver::solve(std::span<const Lit> assumptions,
+                             std::int64_t conflict_limit) {
   if (unsat_) return Result::kUnsat;
   if (propagate() != kNoReason) {
     unsat_ = true;
     return Result::kUnsat;
   }
+  const int base_levels = static_cast<int>(assumptions.size());
 
   const std::int64_t start_conflicts = conflicts_;
   int restart_index = 0;
@@ -327,8 +464,7 @@ Solver::Result Solver::solve(std::int64_t conflict_limit) {
       if (learned.size() == 1) {
         enqueue(learned[0], kNoReason);
       } else {
-        const ClauseRef cr = static_cast<ClauseRef>(clauses_.size());
-        clauses_.push_back(Clause{learned, clause_inc_, true, false});
+        const ClauseRef cr = alloc_clause(learned, /*learned=*/true);
         learned_refs_.push_back(cr);
         attach(cr);
         enqueue(learned[0], cr);
@@ -352,14 +488,32 @@ Solver::Result Solver::solve(std::int64_t conflict_limit) {
       continue;
     }
 
-    const Lit next = pick_branch();
-    if (next < 0) {
-      // Full assignment: record the model.
-      model_ = assign_;
-      backtrack(0);
-      return Result::kSat;
+    // Re-establish the assumption prefix (restarts drop it), then branch.
+    Lit next = -1;
+    while (decision_level() < base_levels) {
+      const Lit a = assumptions[decision_level()];
+      if (value(a) == 1) {
+        // Already implied: open a dummy level so the prefix count holds.
+        trail_lim_.push_back(static_cast<int>(trail_.size()));
+      } else if (value(a) == -1) {
+        // The formula refutes an assumption: UNSAT under assumptions only.
+        backtrack(0);
+        return Result::kUnsat;
+      } else {
+        next = a;
+        break;
+      }
     }
-    ++decisions_;
+    if (next < 0) {
+      next = pick_branch();
+      if (next < 0) {
+        // Full assignment: record the model.
+        model_ = assign_;
+        backtrack(0);
+        return Result::kSat;
+      }
+      ++decisions_;
+    }
     trail_lim_.push_back(static_cast<int>(trail_.size()));
     enqueue(next, kNoReason);
   }

@@ -4,6 +4,7 @@
 #include <array>
 #include <limits>
 #include <map>
+#include <span>
 #include <unordered_map>
 
 namespace t1map::sfq {
@@ -90,7 +91,7 @@ const MatchTables& match_tables() {
 
 /// Removes non-support variables, returning the compressed table and the
 /// surviving leaf ids (subset of `leaves` in order).
-Tt compress_support(const Tt& tt, const std::vector<std::uint32_t>& leaves,
+Tt compress_support(const Tt& tt, std::span<const std::uint32_t> leaves,
                     std::vector<std::uint32_t>& active_leaves) {
   active_leaves.clear();
   const std::uint32_t support = tt.support_mask();

@@ -1,10 +1,24 @@
 #include "t1/flow.hpp"
 
+#include <chrono>
 #include <sstream>
 
 #include "sfq/netlist_sim.hpp"
 
 namespace t1map::t1 {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point& mark) {
+  const Clock::time_point now = Clock::now();
+  const double s = std::chrono::duration<double>(now - mark).count();
+  mark = now;
+  return s;
+}
+
+}  // namespace
 
 FlowResult run_flow(const Aig& aig, const FlowParams& params) {
   T1MAP_REQUIRE(params.num_phases >= 1, "need at least one phase");
@@ -12,11 +26,13 @@ FlowResult run_flow(const Aig& aig, const FlowParams& params) {
                 "the T1 flow needs at least 3 phases (input separation)");
 
   FlowResult result;
+  Clock::time_point mark = Clock::now();
 
   // 1. Technology mapping.
   sfq::MapStats map_stats;
   sfq::Netlist mapped = sfq::map_to_sfq(aig, params.mapper, &map_stats);
   mapped.check_well_formed();
+  result.times.map = seconds_since(mark);
 
   // 2. T1 detection + substitution.
   if (params.use_t1) {
@@ -29,15 +45,18 @@ FlowResult run_flow(const Aig& aig, const FlowParams& params) {
     }
   }
   result.mapped = std::move(mapped);
+  result.times.t1_detect = seconds_since(mark);
 
   // 3. Phase assignment (§II-B).
   const retime::StageAssignment sa = retime::assign_stages(
       result.mapped,
       retime::StageParams{params.num_phases, params.optimize_stages,
                           params.stage_sweeps});
+  result.times.stage_assign = seconds_since(mark);
 
   // 4. DFF insertion (§II-C).
   result.materialized = retime::insert_dffs(result.mapped, sa);
+  result.times.dff_insert = seconds_since(mark);
 
   // 5. Self-checks: independent timing validation + functional equivalence.
   const retime::TimingReport timing =
@@ -53,6 +72,7 @@ FlowResult run_flow(const Aig& aig, const FlowParams& params) {
                                params.verify_rounds),
         "flow result is not functionally equivalent to the source AIG");
   }
+  result.times.self_check = seconds_since(mark);
 
   // 6. Table-I statistics.
   const sfq::Netlist& mat = result.materialized.netlist;

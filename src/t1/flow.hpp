@@ -53,10 +53,21 @@ struct FlowStats {
   int num_stages = 0;     // σ_PO
 };
 
+/// Wall-clock seconds per flow stage, filled by every `run_flow` call (the
+/// bench harness aggregates these into `BENCH_flow.json`).
+struct StageTimes {
+  double map = 0.0;          // technology mapping (incl. cut enumeration)
+  double t1_detect = 0.0;    // T1 detection + substitution
+  double stage_assign = 0.0; // phase assignment (§II-B)
+  double dff_insert = 0.0;   // DFF materialization (§II-C)
+  double self_check = 0.0;   // timing validation + random-sim equivalence
+};
+
 struct FlowResult {
   sfq::Netlist mapped;                   // pre-retiming network
   retime::MaterializeResult materialized;
   FlowStats stats;
+  StageTimes times;
 };
 
 /// Runs the full flow on `aig`.  Throws ContractError if any internal

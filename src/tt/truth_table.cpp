@@ -108,29 +108,49 @@ Tt compose(const Tt& local, std::span<const Tt> fanins) {
   for (const Tt& f : fanins) {
     T1MAP_REQUIRE(f.num_vars() == nvars, "compose: fanin arity mismatch");
   }
-  Tt result(nvars);
-  for (std::uint64_t i = 0; i < result.num_bits(); ++i) {
-    std::uint64_t point = 0;
-    for (std::size_t k = 0; k < fanins.size(); ++k) {
-      if (fanins[k].bit(i)) point |= (1ull << k);
+  // Word-parallel Shannon expansion: every minterm of `local` contributes
+  // the AND of its fanin tables (complemented where the minterm has a 0),
+  // all 2^nvars result rows at once.
+  const std::uint64_t full = Tt::ones(nvars).bits();
+  std::uint64_t result = 0;
+  for (std::uint64_t row = 0; row < local.num_bits(); ++row) {
+    if (!local.bit(row)) continue;
+    std::uint64_t term = full;
+    for (std::size_t k = 0; k < fanins.size() && term != 0; ++k) {
+      const std::uint64_t f = fanins[k].bits();
+      term &= ((row >> k) & 1u) != 0 ? f : ~f;
     }
-    if (local.bit(point)) result.set_bit(i, true);
+    result |= term;
   }
-  return result;
+  return Tt(nvars, result);
 }
 
 Tt expand_to_leaves(const Tt& tt, std::span<const std::uint32_t> from,
                     std::span<const std::uint32_t> to) {
   T1MAP_REQUIRE(static_cast<int>(from.size()) == tt.num_vars(),
                 "expand: leaf list must match arity");
-  std::vector<int> where(from.size());
+  T1MAP_REQUIRE(static_cast<int>(to.size()) <= Tt::kMaxVars,
+                "expand: target leaf list too large");
+  // Allocation-free: both lists are sorted, so one merged walk resolves the
+  // variable positions.  This runs per candidate cut in enumeration.
+  int where[Tt::kMaxVars];
+  std::size_t j = 0;
   for (std::size_t v = 0; v < from.size(); ++v) {
-    const auto it = std::lower_bound(to.begin(), to.end(), from[v]);
-    T1MAP_REQUIRE(it != to.end() && *it == from[v],
+    while (j < to.size() && to[j] < from[v]) ++j;
+    T1MAP_REQUIRE(j < to.size() && to[j] == from[v],
                   "expand: source leaf missing from target leaf set");
-    where[v] = static_cast<int>(it - to.begin());
+    where[v] = static_cast<int>(j++);
   }
-  return tt.remap(static_cast<int>(to.size()), where);
+  const int nto = static_cast<int>(to.size());
+  std::uint64_t out = 0;
+  for (std::uint64_t i = 0; i < (1ull << nto); ++i) {
+    std::uint64_t src = 0;
+    for (std::size_t v = 0; v < from.size(); ++v) {
+      src |= ((i >> where[v]) & 1u) << v;
+    }
+    out |= static_cast<std::uint64_t>(tt.bit(src)) << i;
+  }
+  return Tt(nto, out);
 }
 
 namespace tts {

@@ -69,6 +69,33 @@ TEST(Cli, TextReportMentionsAllConfigs) {
   EXPECT_NE(out.find("equivalent"), std::string::npos);
 }
 
+TEST(Cli, BenchModeEmitsStageTimings) {
+  std::string out;
+  // One small circuit, one run, JSON to stdout; CEC on so every stage of
+  // the Table-I pipeline appears.
+  const int status = run_command(
+      kCli + " --bench --gen adder8 --bench-runs 1 --bench-out - 2>/dev/null",
+      out);
+  ASSERT_EQ(status, 0) << out;
+
+  const io::Json bench = io::Json::parse(out);
+  EXPECT_EQ(bench.at("bench").as_string(), "flow");
+  EXPECT_EQ(bench.at("config").as_string(), "t1");
+  EXPECT_EQ(bench.at("runs").as_number(), 1);
+  const io::Json& circuit = bench.at("circuits").at("adder8");
+  EXPECT_GT(circuit.at("stats").at("jj_total").as_number(), 0);
+  const io::Json& stages = circuit.at("stages");
+  for (const char* stage : {"cut_enum", "map", "t1_detect", "stage_assign",
+                            "dff_insert", "self_check", "cec", "total"}) {
+    ASSERT_TRUE(stages.contains(stage)) << stage;
+    const io::Json& s = stages.at(stage);
+    EXPECT_GE(s.at("mean_ms").as_number(), s.at("min_ms").as_number());
+    EXPECT_GE(s.at("max_ms").as_number(), s.at("mean_ms").as_number());
+  }
+  // Stage times must be consistent: the total covers the flow plus CEC.
+  EXPECT_GT(stages.at("total").at("mean_ms").as_number(), 0.0);
+}
+
 TEST(Cli, BadUsageFailsWithDiagnostic) {
   std::string out;
   // No input source: exit code 2 (usage error), nothing on stdout.

@@ -1,8 +1,11 @@
 // Cut enumeration tests: structural properties (leaf bounds, trivial cut,
-// dominance) and functional correctness of per-cut truth tables, verified
-// against node simulation.
+// dominance, signatures) and functional correctness of per-cut truth tables,
+// verified against node simulation.  These pin the enumerator's observable
+// behavior across the flat-memory (inline leaves + arena) implementation.
 
 #include <gtest/gtest.h>
+
+#include <set>
 
 #include "aig/aig.hpp"
 #include "aig/aig_sim.hpp"
@@ -12,20 +15,52 @@
 namespace t1map {
 namespace {
 
+std::vector<std::uint32_t> to_vec(const CutLeaves& leaves) {
+  return {leaves.begin(), leaves.end()};
+}
+
+/// Random AIG with `num_pis` inputs and `num_ands` AND nodes.
+Aig random_aig(Rng& rng, int num_pis, int num_ands) {
+  Aig aig;
+  std::vector<Lit> sigs;
+  for (int i = 0; i < num_pis; ++i) sigs.push_back(aig.create_pi());
+  for (int i = 0; i < num_ands; ++i) {
+    const Lit x = sigs[rng.below(sigs.size())];
+    const Lit y = sigs[rng.below(sigs.size())];
+    sigs.push_back(
+        aig.create_and(lit_notif(x, rng.flip()), lit_notif(y, rng.flip())));
+  }
+  aig.create_po(sigs.back());
+  return aig;
+}
+
 TEST(CutEnum, MergeLeaves) {
-  std::vector<std::uint32_t> out;
-  EXPECT_TRUE(merge_leaves({1, 3}, {2, 3}, 3, out));
-  EXPECT_EQ(out, (std::vector<std::uint32_t>{1, 2, 3}));
-  EXPECT_FALSE(merge_leaves({1, 2}, {3, 4}, 3, out));
-  EXPECT_TRUE(merge_leaves({}, {5}, 3, out));
-  EXPECT_EQ(out, (std::vector<std::uint32_t>{5}));
+  CutLeaves out;
+  EXPECT_TRUE(merge_leaves(CutLeaves{1, 3}, CutLeaves{2, 3}, 3, out));
+  EXPECT_EQ(to_vec(out), (std::vector<std::uint32_t>{1, 2, 3}));
+  EXPECT_FALSE(merge_leaves(CutLeaves{1, 2}, CutLeaves{3, 4}, 3, out));
+  EXPECT_TRUE(merge_leaves(CutLeaves{}, CutLeaves{5}, 3, out));
+  EXPECT_EQ(to_vec(out), (std::vector<std::uint32_t>{5}));
 }
 
 TEST(CutEnum, LeavesSubset) {
-  EXPECT_TRUE(leaves_subset({1, 3}, {1, 2, 3}));
-  EXPECT_FALSE(leaves_subset({1, 4}, {1, 2, 3}));
-  EXPECT_TRUE(leaves_subset({}, {1}));
-  EXPECT_FALSE(leaves_subset({1, 2, 3}, {1, 2}));
+  EXPECT_TRUE(leaves_subset(CutLeaves{1, 3}, CutLeaves{1, 2, 3}));
+  EXPECT_FALSE(leaves_subset(CutLeaves{1, 4}, CutLeaves{1, 2, 3}));
+  EXPECT_TRUE(leaves_subset(CutLeaves{}, CutLeaves{1}));
+  EXPECT_FALSE(leaves_subset(CutLeaves{1, 2, 3}, CutLeaves{1, 2}));
+}
+
+TEST(CutEnum, SignatureIsUnionOfLeafBits) {
+  Rng rng(11);
+  const Aig aig = random_aig(rng, 8, 60);
+  const auto cuts = enumerate_cuts(aig, CutParams{4, 16});
+  for (std::uint32_t n = 0; n < aig.num_nodes(); ++n) {
+    for (const Cut& cut : cuts[n]) {
+      std::uint64_t sig = 0;
+      for (const std::uint32_t l : cut.leaves) sig |= leaf_sig(l);
+      EXPECT_EQ(cut.sig, sig) << "node " << n;
+    }
+  }
 }
 
 TEST(CutEnum, FullAdderCutsFound) {
@@ -46,7 +81,7 @@ TEST(CutEnum, FullAdderCutsFound) {
                                              lit_node(c)};
   bool found_xor3 = false;
   for (const Cut& cut : cuts[lit_node(sum)]) {
-    if (cut.leaves == leaves) {
+    if (cut.leaves == std::span<const std::uint32_t>(leaves)) {
       // PO may be complemented; function is over positive node polarity.
       const Tt expect =
           lit_is_complemented(sum) ? ~tts::xor3() : tts::xor3();
@@ -58,7 +93,7 @@ TEST(CutEnum, FullAdderCutsFound) {
 
   bool found_maj3 = false;
   for (const Cut& cut : cuts[lit_node(carry)]) {
-    if (cut.leaves == leaves) {
+    if (cut.leaves == std::span<const std::uint32_t>(leaves)) {
       const Tt expect =
           lit_is_complemented(carry) ? ~tts::maj3() : tts::maj3();
       EXPECT_EQ(cut.tt, expect);
@@ -81,35 +116,39 @@ TEST(CutEnum, TrivialCutAlwaysFirst) {
   }
 }
 
-TEST(CutEnum, LeafCountBounded) {
+// The invariants every retained cut set must satisfy, for any k: leaf count
+// bounded, leaves sorted, tt arity matches, no duplicate leaf sets, no
+// retained cut dominated by another, trivial cut first.
+TEST(CutEnum, StructuralInvariantsOnRandomCircuits) {
   Rng rng(5);
-  // Random 8-PI AIG.
-  Aig aig;
-  std::vector<Lit> sigs;
-  for (int i = 0; i < 8; ++i) sigs.push_back(aig.create_pi());
-  for (int i = 0; i < 60; ++i) {
-    const Lit x = sigs[rng.below(sigs.size())];
-    const Lit y = sigs[rng.below(sigs.size())];
-    Lit v = aig.create_and(lit_notif(x, rng.flip()), lit_notif(y, rng.flip()));
-    sigs.push_back(v);
-  }
-  aig.create_po(sigs.back());
-
-  for (const int k : {2, 3, 4}) {
-    const auto cuts = enumerate_cuts(aig, CutParams{k, 12});
-    for (std::uint32_t n = 0; n < aig.num_nodes(); ++n) {
-      for (const Cut& cut : cuts[n]) {
-        EXPECT_LE(cut.leaves.size(), static_cast<std::size_t>(k));
-        EXPECT_TRUE(std::is_sorted(cut.leaves.begin(), cut.leaves.end()));
-        EXPECT_EQ(cut.tt.num_vars(), static_cast<int>(cut.leaves.size()));
-      }
-      // Dominance: no retained cut's leaves are a strict subset of another's.
-      for (std::size_t i = 1; i < cuts[n].size(); ++i) {
-        for (std::size_t j = 1; j < cuts[n].size(); ++j) {
-          if (i == j) continue;
-          EXPECT_FALSE(cuts[n][i].leaves != cuts[n][j].leaves &&
-                       leaves_subset(cuts[n][i].leaves, cuts[n][j].leaves) &&
-                       i > j);
+  for (int trial = 0; trial < 4; ++trial) {
+    const Aig aig = random_aig(rng, 8, 60);
+    for (const int k : {2, 3, 4}) {
+      const auto cuts = enumerate_cuts(aig, CutParams{k, 12});
+      ASSERT_EQ(cuts.size(), aig.num_nodes());
+      for (std::uint32_t n = 0; n < aig.num_nodes(); ++n) {
+        ASSERT_FALSE(cuts[n].empty());
+        EXPECT_TRUE(cuts[n][0].is_trivial(n));
+        std::set<std::vector<std::uint32_t>> seen;
+        for (const Cut& cut : cuts[n]) {
+          EXPECT_GE(cut.leaves.size(), 1u);
+          EXPECT_LE(cut.leaves.size(), static_cast<std::size_t>(k));
+          EXPECT_TRUE(std::is_sorted(cut.leaves.begin(), cut.leaves.end()));
+          EXPECT_EQ(cut.tt.num_vars(), static_cast<int>(cut.leaves.size()));
+          // No duplicate leaf sets anywhere in the node's cut set.
+          EXPECT_TRUE(seen.insert(to_vec(cut.leaves)).second)
+              << "duplicate leaf set at node " << n;
+        }
+        // Dominance: no retained cut's leaves are a strict subset of
+        // another's (the trivial cut can never be dominated).
+        for (std::size_t i = 1; i < cuts[n].size(); ++i) {
+          for (std::size_t j = 1; j < cuts[n].size(); ++j) {
+            if (i == j) continue;
+            EXPECT_FALSE(
+                !(cuts[n][i].leaves == cuts[n][j].leaves) &&
+                leaves_subset(cuts[n][i].leaves, cuts[n][j].leaves))
+                << "node " << n << ": cut " << j << " dominated by " << i;
+          }
         }
       }
     }
@@ -118,40 +157,32 @@ TEST(CutEnum, LeafCountBounded) {
 
 TEST(CutEnum, CutFunctionsMatchSimulation) {
   // For every cut of every node: evaluating the cut tt on the leaves' value
-  // words must reproduce the node's value word.
+  // words must reproduce the node's value word.  Run at k = 3 and k = 4.
   Rng rng(17);
-  Aig aig;
-  std::vector<Lit> sigs;
-  for (int i = 0; i < 6; ++i) sigs.push_back(aig.create_pi());
-  for (int i = 0; i < 40; ++i) {
-    const Lit x = sigs[rng.below(sigs.size())];
-    const Lit y = sigs[rng.below(sigs.size())];
-    sigs.push_back(
-        aig.create_and(lit_notif(x, rng.flip()), lit_notif(y, rng.flip())));
-  }
-  aig.create_po(sigs.back());
+  for (const int k : {3, 4}) {
+    const Aig aig = random_aig(rng, 6, 40);
+    std::vector<std::uint64_t> pi_words(aig.num_pis());
+    for (auto& w : pi_words) w = rng.next();
+    const auto value = simulate_nodes(aig, pi_words);
 
-  std::vector<std::uint64_t> pi_words(aig.num_pis());
-  for (auto& w : pi_words) w = rng.next();
-  const auto value = simulate_nodes(aig, pi_words);
-
-  const auto cuts = enumerate_cuts(aig, CutParams{3, 16});
-  long checked = 0;
-  for (std::uint32_t n = 0; n < aig.num_nodes(); ++n) {
-    for (const Cut& cut : cuts[n]) {
-      if (cut.is_trivial(n)) continue;
-      for (int bit = 0; bit < 64; ++bit) {
-        std::uint64_t point = 0;
-        for (std::size_t l = 0; l < cut.leaves.size(); ++l) {
-          if ((value[cut.leaves[l]] >> bit) & 1u) point |= (1ull << l);
+    const auto cuts = enumerate_cuts(aig, CutParams{k, 16});
+    long checked = 0;
+    for (std::uint32_t n = 0; n < aig.num_nodes(); ++n) {
+      for (const Cut& cut : cuts[n]) {
+        if (cut.is_trivial(n)) continue;
+        for (int bit = 0; bit < 64; ++bit) {
+          std::uint64_t point = 0;
+          for (std::size_t l = 0; l < cut.leaves.size(); ++l) {
+            if ((value[cut.leaves[l]] >> bit) & 1u) point |= (1ull << l);
+          }
+          ASSERT_EQ(cut.tt.bit(point), ((value[n] >> bit) & 1u) != 0)
+              << "k " << k << " node " << n << " bit " << bit;
         }
-        ASSERT_EQ(cut.tt.bit(point), ((value[n] >> bit) & 1u) != 0)
-            << "node " << n << " bit " << bit;
+        ++checked;
       }
-      ++checked;
     }
+    EXPECT_GT(checked, 50);
   }
-  EXPECT_GT(checked, 50);
 }
 
 }  // namespace

@@ -1,0 +1,92 @@
+// Golden regression of the full mapping flow: Table-I statistics (JJ area,
+// #DFF, depth, stage count, cell counts, T1 matches) captured from the seed
+// implementation must stay bit-for-bit identical across performance rewrites
+// of the substrate (flat-memory cut enumeration, arena SAT solver, stage
+// assignment pruning).  Any intentional quality change must update this
+// table and say why in the commit.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "gen/registry.hpp"
+#include "t1/flow.hpp"
+
+namespace t1map {
+namespace {
+
+struct Golden {
+  std::string gen;
+  int phases;
+  bool use_t1;
+  long jj_total;
+  long dffs;
+  int depth_cycles;
+  int num_stages;
+  long logic_cells;
+  long splitters;
+  int t1_found;
+  int t1_used;
+};
+
+// Captured from the seed implementation (PR 1) with
+//   t1map --gen <name> --config all --no-cec --verify-rounds 0 --json
+const std::vector<Golden>& golden_rows() {
+  static const std::vector<Golden> rows = {
+      // gen           phi t1     jj   dffs dep stg logic split fnd used
+      {"adder16",      1, false,  4463,  454, 18, 18,   75,  47,   0,   0},
+      {"adder16",      4, false,  1831,   78,  5, 18,   75,  47,   0,   0},
+      {"adder16",      4, true,   1058,   85,  5, 18,    2,   2,  15,  15},
+      {"adder64",      1, false, 60959, 7942, 66, 66,  315, 191,   0,   0},
+      {"adder64",      4, false, 18175, 1830, 17, 66,  315, 191,   0,   0},
+      {"adder64",      4, true,  12278, 1489, 17, 66,    2,   2,  63,  63},
+      {"mul8",         1, false,  8091,  358, 17, 17,  236, 292,   0,   0},
+      {"mul8",         4, false,  5844,   37,  5, 17,  236, 292,   0,   0},
+      {"mul8",         4, true,   4477,   60,  6, 21,  156, 192,  45,  33},
+      {"square12",     1, false, 16148, 1372, 36, 36,  290, 324,   0,   0},
+      {"square12",     4, false,  8413,  267,  9, 36,  290, 324,   0,   0},
+      {"square12",     4, true,   7883,  463, 13, 50,  182, 204,  71,  41},
+      {"voter25",      1, false,  2040,   26, 12, 12,   66,  65,   0,   0},
+      {"voter25",      4, false,  1858,    0,  3, 12,   66,  65,   0,   0},
+      {"voter25",      4, true,   1235,   15,  5, 17,   29,  25,  22,  13},
+      {"comparator16", 1, false,  6256,  507, 19, 19,  124, 111,   0,   0},
+      {"comparator16", 4, false,  3330,   89,  5, 19,  124, 111,   0,   0},
+      {"comparator16", 4, true,   2851,  139,  5, 18,   49,  66,  17,  16},
+      {"sin12",        1, false, 64420, 4854, 141, 141, 1471, 1481, 0,  0},
+      {"sin12",        4, false, 36490,  864,  36, 141, 1471, 1481, 0,  0},
+      {"sin12",        4, true,  33841, 1601,  50, 198,  838,  916, 298, 194},
+  };
+  return rows;
+}
+
+TEST(FlowRegression, StatsMatchSeedGolden) {
+  std::string last_gen;
+  Aig aig;
+  for (const Golden& g : golden_rows()) {
+    if (g.gen != last_gen) {
+      aig = gen::make_named(g.gen);
+      last_gen = g.gen;
+    }
+    t1::FlowParams params;
+    params.num_phases = g.phases;
+    params.use_t1 = g.use_t1;
+    params.verify_rounds = 0;  // stats only; equivalence is tested elsewhere
+    const t1::FlowStats s = t1::run_flow(aig, params).stats;
+
+    const std::string label =
+        g.gen + " phases=" + std::to_string(g.phases) +
+        (g.use_t1 ? " t1" : " baseline");
+    EXPECT_EQ(s.area_jj, g.jj_total) << label;
+    EXPECT_EQ(s.dffs, g.dffs) << label;
+    EXPECT_EQ(s.depth_cycles, g.depth_cycles) << label;
+    EXPECT_EQ(s.num_stages, g.num_stages) << label;
+    EXPECT_EQ(s.logic_cells, g.logic_cells) << label;
+    EXPECT_EQ(s.splitters, g.splitters) << label;
+    EXPECT_EQ(s.t1_found, g.t1_found) << label;
+    EXPECT_EQ(s.t1_used, g.t1_used) << label;
+  }
+}
+
+}  // namespace
+}  // namespace t1map

@@ -59,6 +59,83 @@ TEST(Sat, PigeonHole3Into2IsUnsat) {
   EXPECT_EQ(s.solve(), Solver::Result::kUnsat);
 }
 
+TEST(Sat, SolveUnderAssumptionsIsIncremental) {
+  // Implication chain a -> b -> c.  Assuming {a, ~c} is UNSAT *under the
+  // assumptions* only: the same instance must stay usable and then prove
+  // {a, c} satisfiable, and answer a plain solve() afterwards.
+  Solver s;
+  const int a = s.new_var();
+  const int b = s.new_var();
+  const int c = s.new_var();
+  s.add_clause({mk_lit(a, true), mk_lit(b)});
+  s.add_clause({mk_lit(b, true), mk_lit(c)});
+
+  const Lit assume_unsat[] = {mk_lit(a), mk_lit(c, true)};
+  EXPECT_EQ(s.solve(assume_unsat), Solver::Result::kUnsat);
+  const Lit assume_sat[] = {mk_lit(a), mk_lit(c)};
+  ASSERT_EQ(s.solve(assume_sat), Solver::Result::kSat);
+  EXPECT_TRUE(s.model_value(a));
+  EXPECT_TRUE(s.model_value(b));
+  EXPECT_TRUE(s.model_value(c));
+  EXPECT_EQ(s.solve(), Solver::Result::kSat);
+
+  // Assumptions already implied at level 0 take the dummy-level path;
+  // assumptions refuted at level 0 fail without poisoning the solver.
+  s.add_clause({mk_lit(a)});
+  const Lit assume_implied[] = {mk_lit(a), mk_lit(b)};
+  EXPECT_EQ(s.solve(assume_implied), Solver::Result::kSat);
+  const Lit assume_refuted[] = {mk_lit(a, true)};
+  EXPECT_EQ(s.solve(assume_refuted), Solver::Result::kUnsat);
+  EXPECT_EQ(s.solve(), Solver::Result::kSat);
+}
+
+TEST(Sat, AssumptionsMatchUnitClausesOnRandomCnf) {
+  // One incremental solver answering assumption queries must agree with a
+  // fresh solver given the assumptions as unit clauses.
+  Rng rng(123);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int nvars = 8;
+    std::vector<std::vector<Lit>> clauses;
+    for (int c = 0; c < 25 + static_cast<int>(rng.below(10)); ++c) {
+      std::vector<Lit> clause;
+      const int len = 1 + static_cast<int>(rng.below(3));
+      for (int k = 0; k < len; ++k) {
+        clause.push_back(
+            mk_lit(static_cast<int>(rng.below(nvars)), rng.flip()));
+      }
+      clauses.push_back(std::move(clause));
+    }
+
+    Solver incremental;
+    for (int i = 0; i < nvars; ++i) incremental.new_var();
+    bool inc_consistent = true;
+    for (const auto& clause : clauses) {
+      inc_consistent = incremental.add_clause(clause) && inc_consistent;
+    }
+
+    for (int query = 0; query < 6; ++query) {
+      std::vector<Lit> assumptions;
+      for (int k = 0; k < 2; ++k) {
+        assumptions.push_back(
+            mk_lit(static_cast<int>(rng.below(nvars)), rng.flip()));
+      }
+      Solver fresh;
+      for (int i = 0; i < nvars; ++i) fresh.new_var();
+      bool consistent = inc_consistent;
+      for (const auto& clause : clauses) {
+        consistent = fresh.add_clause(clause) && consistent;
+      }
+      for (const Lit l : assumptions) {
+        consistent = fresh.add_clause({l}) && consistent;
+      }
+      const Solver::Result expect =
+          !consistent ? Solver::Result::kUnsat : fresh.solve();
+      EXPECT_EQ(incremental.solve(assumptions), expect)
+          << "trial " << trial << " query " << query;
+    }
+  }
+}
+
 TEST(Sat, ModelSatisfiesAllClauses) {
   Rng rng(31);
   for (int trial = 0; trial < 30; ++trial) {
