@@ -1,0 +1,6 @@
+/// \file aig.hpp
+/// \brief Public surface: the And-Inverter-Graph input network.
+
+#pragma once
+
+#include "aig/aig.hpp"

@@ -1,0 +1,6 @@
+/// \file cec.hpp
+/// \brief Public surface: SAT-based combinational equivalence checking.
+
+#pragma once
+
+#include "sat/cec.hpp"

@@ -1,0 +1,11 @@
+/// \file flow.hpp
+/// \brief Public surface: the one-shot Table-I flow.
+///
+/// `t1map::t1::run_flow` maps an AIG through the full paper pipeline and
+/// returns netlist + statistics; `FlowParams` selects phases / T1 /
+/// verification.  For repeated or batched runs, prefer the engine API in
+/// <t1map/flow_engine.hpp>.
+
+#pragma once
+
+#include "t1/flow.hpp"

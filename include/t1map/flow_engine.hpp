@@ -1,0 +1,11 @@
+/// \file flow_engine.hpp
+/// \brief Public surface: the composable pass-pipeline flow API.
+///
+/// `t1map::t1::FlowEngine` executes a `Pipeline` of `Pass` objects with
+/// reusable scratch state, structured `Diagnostics`, and deterministic
+/// batched execution (`run_many`).  This is the embedding point for
+/// services that map many circuits.
+
+#pragma once
+
+#include "t1/flow_engine.hpp"

@@ -1,0 +1,7 @@
+/// \file generators.hpp
+/// \brief Public surface: named benchmark generators (`adder16`, `c6288`,
+/// `mul8`, ...) and the paper's Table-I rows.
+
+#pragma once
+
+#include "gen/registry.hpp"

@@ -1,0 +1,8 @@
+/// \file io.hpp
+/// \brief Public surface: BLIF read/write, DOT export, JSON mini-library.
+
+#pragma once
+
+#include "io/blif.hpp"
+#include "io/dot.hpp"
+#include "io/json.hpp"

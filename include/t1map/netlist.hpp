@@ -1,0 +1,7 @@
+/// \file netlist.hpp
+/// \brief Public surface: the mapped SFQ netlist and its cell library.
+
+#pragma once
+
+#include "sfq/cells.hpp"
+#include "sfq/netlist.hpp"

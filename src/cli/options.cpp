@@ -1,24 +1,54 @@
 #include "cli/options.hpp"
 
+#include <charconv>
+
+#include "t1/flow_engine.hpp"
+
 namespace t1map::cli {
 
 namespace {
 
+/// Integer flag parsing with precise diagnostics: every failure mode names
+/// the flag, the offending value, and what exactly was wrong with it.
 int parse_int(const std::string& flag, const std::string& value, int lo,
               int hi) {
   int parsed = 0;
-  try {
-    std::size_t used = 0;
-    parsed = std::stoi(value, &used);
-    if (used != value.size()) throw std::invalid_argument(value);
-  } catch (const std::exception&) {
+  const char* begin = value.data();
+  const char* end = begin + value.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, parsed);
+  if (ec == std::errc::result_out_of_range) {
+    throw UsageError(flag + ": value '" + value +
+                     "' does not fit in an integer");
+  }
+  if (ec != std::errc() || ptr == begin) {
     throw UsageError(flag + " expects an integer, got '" + value + "'");
+  }
+  if (ptr != end) {
+    throw UsageError(flag + ": trailing garbage '" + std::string(ptr, end) +
+                     "' after integer in '" + value + "'");
   }
   if (parsed < lo || parsed > hi) {
     throw UsageError(flag + " must be in [" + std::to_string(lo) + ", " +
-                     std::to_string(hi) + "]");
+                     std::to_string(hi) + "], got " + std::to_string(parsed));
   }
   return parsed;
+}
+
+/// Validates a --passes list by running it through the engine's own parser
+/// (one grammar, no drift), so typos fail as usage errors — with the
+/// accepted names — before any flow runs.
+void validate_passes(const std::string& spec) {
+  try {
+    (void)t1::Pipeline::parse(spec);
+  } catch (const ContractError& e) {
+    std::string known;
+    for (const std::string& name : t1::Pipeline::known_passes()) {
+      if (!known.empty()) known += '|';
+      known += name;
+    }
+    throw UsageError("--passes: " + std::string(e.what()) +
+                     " (accepted: " + known + ")");
+  }
 }
 
 }  // namespace
@@ -53,6 +83,13 @@ Options parse_options(int argc, const char* const* argv) {
       opts.verify_rounds = parse_int(arg, value_of(i), 0, 1 << 20);
     } else if (arg == "--no-cec") {
       opts.run_cec = false;
+    } else if (arg == "--threads") {
+      opts.threads = parse_int(arg, value_of(i), 1, 256);
+    } else if (arg == "--skip-checks") {
+      opts.skip_checks = true;
+    } else if (arg == "--passes") {
+      opts.passes = value_of(i);
+      validate_passes(opts.passes);
     } else if (arg == "--bench") {
       opts.bench = true;
     } else if (arg == "--bench-runs") {
@@ -83,7 +120,16 @@ Options parse_options(int argc, const char* const* argv) {
   }
 
   if (opts.help || opts.list_gens) return opts;
+  if (opts.skip_checks && !opts.passes.empty()) {
+    throw UsageError("--skip-checks and --passes both select the pipeline; "
+                     "use one of them");
+  }
   if (opts.bench) {
+    if (!opts.passes.empty()) {
+      throw UsageError("--bench times the fixed Table-I pipeline; --passes "
+                       "is a report-mode option (use --skip-checks to drop "
+                       "the verification stages)");
+    }
     // Bench mode runs a built-in circuit set; --gen narrows it to one
     // circuit, --blif is not supported there.
     if (!opts.blif_path.empty()) {
@@ -141,6 +187,14 @@ std::string usage() {
       "  --json                      machine-readable JSON report on stdout\n"
       "  --no-cec                    skip SAT equivalence checking\n"
       "  --verify-rounds N           random-sim self-check rounds (default 8)\n"
+      "  --threads N                 worker threads: report mode runs the\n"
+      "                              configurations in parallel, bench mode\n"
+      "                              adds a batched run_many measurement\n"
+      "  --skip-checks               drop the verification passes (timing,\n"
+      "                              random-sim, CEC) from the pipeline\n"
+      "  --passes LIST               explicit pass pipeline, comma-separated\n"
+      "                              (map,t1,stage,dff,timing,sim,cec);\n"
+      "                              overrides --no-cec, report mode only\n"
       "  --bench                     measure per-stage wall times and write\n"
       "                              a BENCH_flow.json trajectory file\n"
       "  --bench-runs N              repetitions per circuit (default 3)\n"
@@ -155,8 +209,9 @@ std::string usage() {
       "  --help                      this text\n"
       "\n"
       "Examples:\n"
-      "  t1map --bench --bench-runs 5\n"
+      "  t1map --bench --bench-runs 5 --threads 4\n"
       "  t1map --gen adder16 --config all\n"
+      "  t1map --gen mul8 --passes map,t1,stage,dff --json\n"
       "  t1map --gen adder16 --config all --json\n"
       "  t1map --gen c6288 --phases 6 --config t1 --out-blif c6288_t1.blif\n"
       "  t1map --blif design.blif --config t1 --out-dot design.dot\n";

@@ -25,6 +25,10 @@ struct Options {
   int phases = 4;              // --phases N (the n of "nphi" and "t1")
   int verify_rounds = 8;       // --verify-rounds N (random-sim self-check)
   bool run_cec = true;         // --no-cec skips SAT equivalence checking
+  int threads = 1;             // --threads N (batched / parallel execution)
+  bool skip_checks = false;    // --skip-checks drops timing/sim/cec passes
+  std::string passes;          // --passes LIST (explicit pipeline, e.g.
+                               //   "map,t1,stage,dff"; empty = default)
 
   // Bench harness (perf trajectory; see PERF.md).
   bool bench = false;           // --bench (per-stage wall-time measurement)

@@ -1,12 +1,13 @@
 #include "cli/report.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <iostream>
 #include <sstream>
 
 #include "common/require.hpp"
 #include "gen/registry.hpp"
-#include "sat/cec.hpp"
 
 namespace t1map::cli {
 
@@ -16,13 +17,26 @@ std::string nphi_key(int phases) {
   return "baseline_" + std::to_string(phases) + "phi";
 }
 
-std::string verdict_name(sat::CecResult::Verdict v) {
-  switch (v) {
-    case sat::CecResult::Verdict::kEquivalent: return "equivalent";
-    case sat::CecResult::Verdict::kNotEquivalent: return "not_equivalent";
-    case sat::CecResult::Verdict::kUnknown: return "unknown";
-  }
-  return "unknown";
+/// One configuration through the shared pipeline; throws ContractError when
+/// a check pass failed so the driver exits non-zero exactly as the
+/// monolithic flow did.
+ConfigResult run_one_config(const t1::Pipeline& pipeline, const Aig& aig,
+                            const std::string& key, const Options& opts,
+                            t1::FlowScratch& scratch) {
+  ConfigResult result;
+  result.key = key;
+  result.params = config_params(key, opts);
+
+  const auto start = std::chrono::steady_clock::now();
+  result.flow =
+      t1::FlowEngine::run_with(pipeline, aig, result.params, scratch);
+  const auto end = std::chrono::steady_clock::now();
+  result.seconds = std::chrono::duration<double>(end - start).count();
+  result.cec = result.flow.cec;
+  T1MAP_REQUIRE(result.flow.ok(),
+                "config " + key + " failed: " +
+                    result.flow.diagnostics.first_error());
+  return result;
 }
 
 }  // namespace
@@ -38,37 +52,55 @@ std::vector<std::string> selected_configs(const Options& opts) {
   return keys;
 }
 
-ConfigResult run_config(const Aig& aig, const std::string& key,
-                        const Options& opts) {
-  ConfigResult result;
-  result.key = key;
-  result.params.verify_rounds = opts.verify_rounds;
+t1::Pipeline build_pipeline(const Options& opts) {
+  if (!opts.passes.empty()) return t1::Pipeline::parse(opts.passes);
+  if (opts.skip_checks) return t1::Pipeline::parse("map,t1,stage,dff");
+  return t1::Pipeline::default_flow(/*with_cec=*/opts.run_cec);
+}
+
+t1::FlowParams config_params(const std::string& key, const Options& opts) {
+  t1::FlowParams params;
+  params.verify_rounds = opts.verify_rounds;
   if (key == "baseline_1phi") {
-    result.params.num_phases = 1;
-    result.params.use_t1 = false;
+    params.num_phases = 1;
+    params.use_t1 = false;
   } else if (key == "t1") {
-    result.params.num_phases = opts.phases;
-    result.params.use_t1 = true;
+    params.num_phases = opts.phases;
+    params.use_t1 = true;
   } else {
     T1MAP_REQUIRE(key == nphi_key(opts.phases),
-                  "run_config: unknown configuration key " + key);
-    result.params.num_phases = opts.phases;
-    result.params.use_t1 = false;
+                  "config_params: unknown configuration key " + key);
+    params.num_phases = opts.phases;
+    params.use_t1 = false;
   }
+  return params;
+}
 
-  const auto start = std::chrono::steady_clock::now();
-  result.flow = t1::run_flow(aig, result.params);
-  if (opts.run_cec) {
-    const sat::CecResult cec =
-        sat::check_equivalence(aig, result.flow.materialized.netlist);
-    result.cec = verdict_name(cec.verdict);
-    T1MAP_REQUIRE(cec.verdict != sat::CecResult::Verdict::kNotEquivalent,
-                  "CEC refuted config " + key + ": mapped netlist is not "
-                  "equivalent to the source AIG");
+std::vector<ConfigResult> run_configs(const Aig& aig,
+                                      const std::vector<std::string>& keys,
+                                      const Options& opts) {
+  const t1::Pipeline pipeline = build_pipeline(opts);
+  std::vector<ConfigResult> results(keys.size());
+
+  const bool parallel = opts.threads > 1 && keys.size() > 1;
+  if (!opts.json) {
+    if (parallel) {
+      std::cerr << "t1map: running " << keys.size() << " configurations on "
+                << std::min<int>(opts.threads,
+                                 static_cast<int>(keys.size()))
+                << " threads ..." << std::endl;
+    } else {
+      for (const std::string& key : keys) {
+        std::cerr << "t1map: running " << key << " ..." << std::endl;
+      }
+    }
   }
-  const auto end = std::chrono::steady_clock::now();
-  result.seconds = std::chrono::duration<double>(end - start).count();
-  return result;
+  t1::for_each_with_scratch(
+      keys.size(), opts.threads,
+      [&](std::size_t i, t1::FlowScratch& scratch) {
+        results[i] = run_one_config(pipeline, aig, keys[i], opts, scratch);
+      });
+  return results;
 }
 
 const ConfigResult* find_config(const Report& report,

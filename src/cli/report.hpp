@@ -10,7 +10,7 @@
 #include "aig/aig.hpp"
 #include "cli/options.hpp"
 #include "io/json.hpp"
-#include "t1/flow.hpp"
+#include "t1/flow_engine.hpp"
 
 namespace t1map::cli {
 
@@ -18,7 +18,7 @@ namespace t1map::cli {
 struct ConfigResult {
   std::string key;  // "baseline_1phi", "baseline_<n>phi" or "t1"
   t1::FlowParams params;
-  t1::FlowResult flow;
+  t1::EngineResult flow;
   /// "equivalent" | "not_equivalent" | "unknown" | "skipped"
   std::string cec = "skipped";
   double seconds = 0.0;
@@ -40,11 +40,21 @@ struct Report {
 /// canonical order (1phi, nphi, t1).
 std::vector<std::string> selected_configs(const Options& opts);
 
-/// Runs one configuration (key as produced by `selected_configs`) on `aig`,
-/// including the optional SAT equivalence check of the materialized
-/// netlist.  Throws ContractError if the flow's self-checks fail.
-ConfigResult run_config(const Aig& aig, const std::string& key,
-                        const Options& opts);
+/// The pass pipeline `opts` selects: `--passes` verbatim, else the default
+/// flow minus the verification stages under `--skip-checks`, with SAT CEC
+/// appended unless `--no-cec`.
+t1::Pipeline build_pipeline(const Options& opts);
+
+/// Flow parameters for one configuration key.
+t1::FlowParams config_params(const std::string& key, const Options& opts);
+
+/// Runs every configuration in `keys` on `aig` through a shared
+/// `FlowEngine` pipeline — with `--threads`, configurations run in
+/// parallel (one scratch per worker; results stay in `keys` order).
+/// Throws ContractError if any configuration's check passes fail.
+std::vector<ConfigResult> run_configs(const Aig& aig,
+                                      const std::vector<std::string>& keys,
+                                      const Options& opts);
 
 /// Machine-readable report (the `--json` output).
 io::Json report_json(const Report& report);

@@ -43,6 +43,12 @@ Aig load_input(const Options& opts, Report& report) {
 }
 
 void export_netlist(const Options& opts, const ConfigResult& config) {
+  if (opts.out_blif.empty() && opts.out_dot.empty()) return;
+  // A partial --passes pipeline (no dff stage) has nothing to export;
+  // refuse rather than writing an empty netlist with exit code 0.
+  T1MAP_REQUIRE(config.flow.has_materialized,
+                "--out-blif/--out-dot need a materialized netlist; include "
+                "the dff pass in --passes");
   if (!opts.out_blif.empty()) {
     std::ofstream ofs(opts.out_blif);
     T1MAP_REQUIRE(ofs.good(), "cannot open for writing: " + opts.out_blif);
@@ -76,12 +82,7 @@ int run(const Options& opts) {
   report.num_ands = aig.num_ands();
   report.depth = aig.depth();
 
-  for (const std::string& key : selected_configs(opts)) {
-    if (!opts.json) {
-      std::cerr << "t1map: running " << key << " ..." << std::endl;
-    }
-    report.configs.push_back(run_config(aig, key, opts));
-  }
+  report.configs = run_configs(aig, selected_configs(opts), opts);
   T1MAP_REQUIRE(!report.configs.empty(), "no configuration selected");
 
   // Export the most interesting config: t1 when run, else the last one.

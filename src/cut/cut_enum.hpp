@@ -190,17 +190,30 @@ void prune_dominated(CutScratch& scratch, int max_cuts);
 
 }  // namespace detail
 
-/// All cuts of every node.  Result is indexed by node id; the trivial cut is
-/// always the first entry of each non-empty set.
+/// Reusable enumeration state: the result arena plus the per-node scratch
+/// buffers.  `enumerate_cuts_into` resets the contents but keeps the heap
+/// allocations, so a workspace reused across many enumerations (the
+/// FlowEngine runs one per mapping and one per T1 detection, thousands of
+/// times in batched serving) stops paying the arena growth after the first
+/// run.
+struct CutWorkspace {
+  CutSet cuts;
+  detail::CutScratch scratch;
+};
+
+/// As `enumerate_cuts`, but (re)builds into `ws.cuts`, reusing the arena and
+/// scratch capacity of previous enumerations.  The result is identical to a
+/// fresh `enumerate_cuts` call.
 template <class Ntk>
-CutSet enumerate_cuts(const Ntk& ntk, const CutParams& params = {}) {
+void enumerate_cuts_into(const Ntk& ntk, const CutParams& params,
+                         CutWorkspace& ws) {
   T1MAP_REQUIRE(params.k >= 1 && params.k <= kMaxCutLeaves,
                 "cut size must be between 1 and 4");
   const std::size_t n = ntk.size();
-  CutSet cuts;
+  CutSet& cuts = ws.cuts;
   cuts.reset(n);
 
-  detail::CutScratch scratch;
+  detail::CutScratch& scratch = ws.scratch;
   scratch.fresh.reserve(
       static_cast<std::size_t>(params.max_cuts) * params.max_cuts + 1);
   scratch.kept.reserve(params.max_cuts + 1);
@@ -284,7 +297,15 @@ CutSet enumerate_cuts(const Ntk& ntk, const CutParams& params = {}) {
     detail::prune_dominated(scratch, params.max_cuts);
     cuts.set_node_cuts(node, scratch.kept);
   }
-  return cuts;
+}
+
+/// All cuts of every node.  Result is indexed by node id; the trivial cut is
+/// always the first entry of each non-empty set.
+template <class Ntk>
+CutSet enumerate_cuts(const Ntk& ntk, const CutParams& params = {}) {
+  CutWorkspace ws;
+  enumerate_cuts_into(ntk, params, ws);
+  return std::move(ws.cuts);
 }
 
 }  // namespace t1map

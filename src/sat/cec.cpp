@@ -110,8 +110,14 @@ std::vector<Lit> encode_netlist(Solver& solver, const sfq::Netlist& ntk,
 
 CecResult check_equivalence(const Aig& aig, const sfq::Netlist& ntk,
                             std::int64_t conflict_limit) {
-  T1MAP_REQUIRE(aig.num_pis() == ntk.num_pis(), "CEC: PI count mismatch");
   Solver solver;
+  return check_equivalence(aig, ntk, conflict_limit, solver);
+}
+
+CecResult check_equivalence(const Aig& aig, const sfq::Netlist& ntk,
+                            std::int64_t conflict_limit, Solver& solver) {
+  T1MAP_REQUIRE(aig.num_pis() == ntk.num_pis(), "CEC: PI count mismatch");
+  solver.reset();
   // Rough CNF size hint: one variable per node plus ~a dozen literals each
   // (3 ternary clauses per AND, up to 2^3 rows per mapped cell).
   const std::size_t nodes = aig.num_nodes() + ntk.num_nodes();

@@ -29,6 +29,12 @@ struct CecResult {
 CecResult check_equivalence(const Aig& aig, const sfq::Netlist& ntk,
                             std::int64_t conflict_limit = -1);
 
+/// As above, but encodes into the caller-owned `solver` (reset first), so a
+/// long-lived solver amortizes its clause-arena allocations across many
+/// checks.  The verdict is identical to the fresh-solver overload.
+CecResult check_equivalence(const Aig& aig, const sfq::Netlist& ntk,
+                            std::int64_t conflict_limit, Solver& solver);
+
 /// AIG vs. AIG.
 CecResult check_equivalence(const Aig& a, const Aig& b,
                             std::int64_t conflict_limit = -1);

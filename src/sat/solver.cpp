@@ -35,15 +35,48 @@ int Solver::new_var() {
   // any real bump (var_inc_ >= 1) immediately dominates it.
   activity_.push_back(-1e-9 * v);
   seen_.push_back(0);
-  watches_.emplace_back();
-  watches_.emplace_back();
-  // Tseitin cells watch each variable a handful of times; pre-sizing the
-  // lists removes the growth reallocations during CNF construction.
-  watches_[2 * v].reserve(4);
-  watches_[2 * v + 1].reserve(4);
+  // After reset() the outer watches_ stays sized so the inner lists keep
+  // their capacity; only grow past slots no previous problem used.
+  if (watches_.size() < 2 * static_cast<std::size_t>(v) + 2) {
+    watches_.emplace_back();
+    watches_.emplace_back();
+    // Tseitin cells watch each variable a handful of times; pre-sizing the
+    // lists removes the growth reallocations during CNF construction.
+    watches_[2 * v].reserve(4);
+    watches_[2 * v + 1].reserve(4);
+  }
   heap_pos_.push_back(-1);
   heap_insert(v);
   return v;
+}
+
+void Solver::reset() {
+  // clear() keeps vector capacity, which is the point: the big arenas
+  // (lit_pool_, clauses_, trail_) stay allocated for the next problem.
+  lit_pool_.clear();
+  clauses_.clear();
+  learned_refs_.clear();
+  // Keep watches_ sized: clearing each inner list preserves its heap
+  // buffer, and new_var reuses the slots instead of re-allocating them.
+  for (auto& w : watches_) w.clear();
+  wasted_lits_ = 0;
+  assign_.clear();
+  model_.clear();
+  saved_phase_.clear();
+  level_.clear();
+  reason_.clear();
+  trail_.clear();
+  trail_lim_.clear();
+  qhead_ = 0;
+  activity_.clear();
+  heap_.clear();
+  heap_pos_.clear();
+  var_inc_ = 1.0;
+  clause_inc_ = 1.0;
+  unsat_ = false;
+  seen_.clear();
+  add_tmp_.clear();
+  analyze_tmp_.clear();
 }
 
 void Solver::reserve(int num_vars, std::size_t num_literals) {

@@ -43,6 +43,13 @@ class Solver {
   /// allocation hint for encoders that know the CNF size in advance.
   void reserve(int num_vars, std::size_t num_literals = 0);
 
+  /// Clears the formula (variables, clauses, learned clauses, trail,
+  /// activities) but keeps the heap allocations of the clause arena and
+  /// per-variable arrays, so one solver object can serve many independent
+  /// problems without re-paying allocation cost.  The cumulative statistics
+  /// (`num_conflicts` etc.) are NOT reset.
+  void reset();
+
   /// Adds a clause (disjunction of literals).  Returns false if the clause
   /// system became trivially unsatisfiable (empty clause).
   bool add_clause(std::span<const Lit> lits);

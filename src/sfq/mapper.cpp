@@ -136,10 +136,13 @@ const std::vector<CellConfig>& match_function(const Tt& tt) {
 }
 
 Netlist map_to_sfq(const Aig& aig, const MapperParams& params,
-                   MapStats* stats) {
+                   MapStats* stats, CutWorkspace* workspace) {
   T1MAP_REQUIRE(params.cuts.k >= 2 && params.cuts.k <= 3,
                 "SFQ mapper supports cut sizes 2 and 3");
-  const auto cuts = enumerate_cuts(aig, params.cuts);
+  CutWorkspace local_ws;
+  CutWorkspace& ws = workspace != nullptr ? *workspace : local_ws;
+  enumerate_cuts_into(aig, params.cuts, ws);
+  const CutSet& cuts = ws.cuts;
   const auto fanout = aig.fanout_counts();
 
   // --- Covering DP: best (raw arrival, flow) choice per AND node. ----------

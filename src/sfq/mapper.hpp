@@ -50,7 +50,12 @@ const std::vector<CellConfig>& match_function(const Tt& tt);
 /// Maps `aig` to an SFQ netlist with identical PI/PO interface and
 /// function.  The result contains logic cells only (no DFFs, no T1s —
 /// T1 substitution is the separate detection pass of t1/).
+///
+/// `workspace`, when given, supplies the cut-enumeration arena; it is reset
+/// per call, so reusing one workspace across many mappings avoids the
+/// per-run arena growth without changing the result.
 Netlist map_to_sfq(const Aig& aig, const MapperParams& params = {},
-                   MapStats* stats = nullptr);
+                   MapStats* stats = nullptr,
+                   CutWorkspace* workspace = nullptr);
 
 }  // namespace t1map::sfq

@@ -7,13 +7,16 @@ namespace t1map::sfq {
 
 namespace {
 
+/// The stimulus is borrowed, not consumed: only a mismatch copies it out,
+/// so one caller-owned buffer serves every round.
 std::optional<Mismatch> compare_round(const Aig& aig, const Netlist& ntk,
-                                      std::vector<std::uint64_t> pi_words) {
+                                      const std::vector<std::uint64_t>&
+                                          pi_words) {
   const auto aig_out = simulate(aig, pi_words);
   const auto ntk_out = ntk.simulate(pi_words);
   for (std::uint32_t i = 0; i < aig.num_pos(); ++i) {
     if (aig_out[i] != ntk_out[i]) {
-      return Mismatch{i, std::move(pi_words)};
+      return Mismatch{i, pi_words};
     }
   }
   return std::nullopt;
@@ -22,7 +25,8 @@ std::optional<Mismatch> compare_round(const Aig& aig, const Netlist& ntk,
 }  // namespace
 
 std::optional<Mismatch> find_sim_mismatch(const Aig& aig, const Netlist& ntk,
-                                          int rounds, std::uint64_t seed) {
+                                          int rounds, std::uint64_t seed,
+                                          SimScratch* scratch) {
   T1MAP_REQUIRE(aig.num_pis() == ntk.num_pis(),
                 "equivalence check: PI count mismatch");
   T1MAP_REQUIRE(aig.num_pos() == ntk.num_pos(),
@@ -46,30 +50,34 @@ std::optional<Mismatch> find_sim_mismatch(const Aig& aig, const Netlist& ntk,
     return std::nullopt;
   }
 
+  SimScratch local;
+  SimScratch& ws = scratch != nullptr ? *scratch : local;
+  std::vector<std::uint64_t>& words = ws.pi_words;
+  words.assign(n, 0);
+
   Rng rng(seed);
   for (int r = 0; r < rounds; ++r) {
-    std::vector<std::uint64_t> pi_words(n);
-    for (auto& w : pi_words) w = rng.next();
-    if (auto m = compare_round(aig, ntk, std::move(pi_words))) return m;
+    for (auto& w : words) w = rng.next();
+    if (auto m = compare_round(aig, ntk, words)) return m;
   }
   // A few structured patterns: all-zero, all-one, walking ones.
-  std::vector<std::uint64_t> zeros(n, 0);
-  if (auto m = compare_round(aig, ntk, zeros)) return m;
-  std::vector<std::uint64_t> ones(n, ~0ull);
-  if (auto m = compare_round(aig, ntk, ones)) return m;
+  words.assign(n, 0);
+  if (auto m = compare_round(aig, ntk, words)) return m;
+  words.assign(n, ~0ull);
+  if (auto m = compare_round(aig, ntk, words)) return m;
   for (std::uint32_t block = 0; block < n; block += 64) {
-    std::vector<std::uint64_t> walk(n, 0);
+    words.assign(n, 0);
     for (std::uint32_t i = block; i < std::min(block + 64, n); ++i) {
-      walk[i] = 1ull << (i - block);
+      words[i] = 1ull << (i - block);
     }
-    if (auto m = compare_round(aig, ntk, std::move(walk))) return m;
+    if (auto m = compare_round(aig, ntk, words)) return m;
   }
   return std::nullopt;
 }
 
 bool random_equivalent(const Aig& aig, const Netlist& ntk, int rounds,
-                       std::uint64_t seed) {
-  return !find_sim_mismatch(aig, ntk, rounds, seed).has_value();
+                       std::uint64_t seed, SimScratch* scratch) {
+  return !find_sim_mismatch(aig, ntk, rounds, seed, scratch).has_value();
 }
 
 }  // namespace t1map::sfq

@@ -23,15 +23,23 @@ struct Mismatch {
   std::vector<std::uint64_t> pi_words;  // stimulus word per PI
 };
 
+/// Reusable stimulus buffer.  Passing the same scratch to many checks keeps
+/// one PI-word allocation alive across all of them (the FlowEngine holds one
+/// per thread); results are unaffected.
+struct SimScratch {
+  std::vector<std::uint64_t> pi_words;
+};
+
 /// Simulates `rounds` * 64 random patterns through both designs; returns the
 /// first mismatch found, or nullopt when all patterns agree.  PI/PO counts
 /// and order must match.
 std::optional<Mismatch> find_sim_mismatch(const Aig& aig, const Netlist& ntk,
-                                          int rounds, std::uint64_t seed);
+                                          int rounds, std::uint64_t seed,
+                                          SimScratch* scratch = nullptr);
 
 /// Convenience wrapper: true when no mismatch is found.  For designs with at
 /// most 6 PIs the check is exhaustive regardless of `rounds`.
 bool random_equivalent(const Aig& aig, const Netlist& ntk, int rounds = 64,
-                       std::uint64_t seed = 1);
+                       std::uint64_t seed = 1, SimScratch* scratch = nullptr);
 
 }  // namespace t1map::sfq

@@ -1,99 +1,37 @@
 #include "t1/flow.hpp"
 
-#include <chrono>
 #include <sstream>
+#include <utility>
 
-#include "sfq/netlist_sim.hpp"
+#include "t1/flow_engine.hpp"
 
 namespace t1map::t1 {
 
-namespace {
-
-using Clock = std::chrono::steady_clock;
-
-double seconds_since(Clock::time_point& mark) {
-  const Clock::time_point now = Clock::now();
-  const double s = std::chrono::duration<double>(now - mark).count();
-  mark = now;
-  return s;
-}
-
-}  // namespace
-
 FlowResult run_flow(const Aig& aig, const FlowParams& params) {
-  T1MAP_REQUIRE(params.num_phases >= 1, "need at least one phase");
-  T1MAP_REQUIRE(!params.use_t1 || params.num_phases >= 3,
-                "the T1 flow needs at least 3 phases (input separation)");
+  // One-shot execution of the default pipeline with fresh scratch; the
+  // engine path is the single implementation, so wrapper and engine results
+  // are bit-for-bit identical by construction.
+  FlowScratch scratch;
+  static const Pipeline pipeline = Pipeline::default_flow();
+  EngineResult engine_result =
+      FlowEngine::run_with(pipeline, aig, params, scratch);
+  // Preserve the historic contract: internal self-check failures throw.
+  T1MAP_REQUIRE(engine_result.ok(), engine_result.diagnostics.first_error());
 
   FlowResult result;
-  Clock::time_point mark = Clock::now();
-
-  // 1. Technology mapping.
-  sfq::MapStats map_stats;
-  sfq::Netlist mapped = sfq::map_to_sfq(aig, params.mapper, &map_stats);
-  mapped.check_well_formed();
-  result.times.map = seconds_since(mark);
-
-  // 2. T1 detection + substitution.
-  if (params.use_t1) {
-    const DetectResult det = detect_t1(mapped, params.detect);
-    result.stats.t1_found = det.found;
-    result.stats.t1_used = det.used;
-    if (!det.accepted.empty()) {
-      RewriteStats rw;
-      mapped = apply_t1_rewrite(mapped, det.accepted, &rw);
-    }
-  }
-  result.mapped = std::move(mapped);
-  result.times.t1_detect = seconds_since(mark);
-
-  // 3. Phase assignment (§II-B).
-  const retime::StageAssignment sa = retime::assign_stages(
-      result.mapped,
-      retime::StageParams{params.num_phases, params.optimize_stages,
-                          params.stage_sweeps});
-  result.times.stage_assign = seconds_since(mark);
-
-  // 4. DFF insertion (§II-C).
-  result.materialized = retime::insert_dffs(result.mapped, sa);
-  result.times.dff_insert = seconds_since(mark);
-
-  // 5. Self-checks: independent timing validation + functional equivalence.
-  const retime::TimingReport timing =
-      retime::check_timing(result.materialized.netlist,
-                           result.materialized.stages);
-  T1MAP_REQUIRE(timing.ok, "flow produced a timing-illegal netlist: " +
-                               (timing.violations.empty()
-                                    ? std::string("?")
-                                    : timing.violations.front()));
-  if (params.verify_rounds > 0) {
-    T1MAP_REQUIRE(
-        sfq::random_equivalent(aig, result.materialized.netlist,
-                               params.verify_rounds),
-        "flow result is not functionally equivalent to the source AIG");
-  }
-  result.times.self_check = seconds_since(mark);
-
-  // 6. Table-I statistics.
-  const sfq::Netlist& mat = result.materialized.netlist;
-  FlowStats& s = result.stats;
-  s.dffs = mat.count_kind(sfq::CellKind::kDff);
-  s.area_jj = mat.cell_area_jj_total();
-  s.depth_cycles = result.materialized.stages.depth_cycles();
-  s.num_stages = result.materialized.stages.sigma_po;
-  s.t1_cores = mat.num_t1();
-  s.splitters = mat.splitter_count();
-  for (std::uint32_t v = 0; v < mat.num_nodes(); ++v) {
-    if (sfq::cell_is_logic(mat.kind(v))) ++s.logic_cells;
-  }
+  result.mapped = std::move(engine_result.mapped);
+  result.materialized = std::move(engine_result.materialized);
+  result.stats = engine_result.stats;
+  result.times = engine_result.times;
   return result;
 }
 
 std::string format_stats_row(const std::string& name, const FlowStats& s) {
   std::ostringstream os;
   os << name << "  found=" << s.t1_found << " used=" << s.t1_used
+     << "  logic=" << s.logic_cells << " split=" << s.splitters
      << "  #DFF=" << s.dffs << "  area=" << s.area_jj
-     << "  depth=" << s.depth_cycles;
+     << "  stages=" << s.num_stages << "  depth=" << s.depth_cycles;
   return os.str();
 }
 

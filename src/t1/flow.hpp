@@ -13,6 +13,7 @@
 
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "aig/aig.hpp"
@@ -38,6 +39,9 @@ struct FlowParams {
   /// Verify the result against the AIG by random simulation (rounds of 64
   /// patterns); 0 disables.
   int verify_rounds = 8;
+  /// Conflict budget of the SAT CEC pass when the pipeline includes it
+  /// (flow_engine.hpp); < 0 = unlimited.
+  std::int64_t cec_conflict_limit = -1;
 };
 
 /// The quantities Table I reports (plus a few internals).
@@ -61,6 +65,7 @@ struct StageTimes {
   double stage_assign = 0.0; // phase assignment (§II-B)
   double dff_insert = 0.0;   // DFF materialization (§II-C)
   double self_check = 0.0;   // timing validation + random-sim equivalence
+  double cec = 0.0;          // SAT CEC, when the pipeline includes the pass
 };
 
 struct FlowResult {
@@ -72,9 +77,15 @@ struct FlowResult {
 
 /// Runs the full flow on `aig`.  Throws ContractError if any internal
 /// validity check fails (timing, equivalence).
+///
+/// Compatibility wrapper: executes the default `FlowEngine` pipeline
+/// (flow_engine.hpp) with fresh scratch state, so results are bit-for-bit
+/// identical to the pre-engine monolithic implementation.  Callers running
+/// the flow more than once should hold a `FlowEngine` instead.
 FlowResult run_flow(const Aig& aig, const FlowParams& params = {});
 
-/// Formats a Table-I-style row: `name  found used  dffs  area  depth`.
+/// Formats a Table-I-style row:
+/// `name  found used  logic split  dffs  area  stages depth`.
 std::string format_stats_row(const std::string& name, const FlowStats& s);
 
 }  // namespace t1map::t1

@@ -1,0 +1,448 @@
+#include "t1/flow_engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "retime/timing_check.hpp"
+#include "t1/t1_detect.hpp"
+#include "t1/t1_rewrite.hpp"
+
+namespace t1map::t1 {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_between(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+}  // namespace
+
+// --- Diagnostics -------------------------------------------------------------
+
+const char* severity_name(Severity severity) {
+  switch (severity) {
+    case Severity::kInfo: return "info";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "?";
+}
+
+const char* flow_status_name(FlowStatus status) {
+  switch (status) {
+    case FlowStatus::kOk: return "ok";
+    case FlowStatus::kTimingViolation: return "timing_violation";
+    case FlowStatus::kNotEquivalent: return "not_equivalent";
+  }
+  return "?";
+}
+
+const char* cec_verdict_name(sat::CecResult::Verdict verdict) {
+  switch (verdict) {
+    case sat::CecResult::Verdict::kEquivalent: return "equivalent";
+    case sat::CecResult::Verdict::kNotEquivalent: return "not_equivalent";
+    case sat::CecResult::Verdict::kUnknown: return "unknown";
+  }
+  return "unknown";
+}
+
+void Diagnostics::add(Severity severity, std::string pass,
+                      std::string message) {
+  entries_.push_back(
+      Diagnostic{severity, std::move(pass), std::move(message)});
+}
+
+void Diagnostics::info(std::string pass, std::string message) {
+  add(Severity::kInfo, std::move(pass), std::move(message));
+}
+
+void Diagnostics::warning(std::string pass, std::string message) {
+  add(Severity::kWarning, std::move(pass), std::move(message));
+}
+
+void Diagnostics::error(std::string pass, std::string message) {
+  add(Severity::kError, std::move(pass), std::move(message));
+}
+
+bool Diagnostics::has_errors() const {
+  for (const Diagnostic& d : entries_) {
+    if (d.severity == Severity::kError) return true;
+  }
+  return false;
+}
+
+std::string Diagnostics::first_error() const {
+  for (const Diagnostic& d : entries_) {
+    if (d.severity == Severity::kError) return d.message;
+  }
+  return {};
+}
+
+std::string Diagnostics::to_string() const {
+  std::ostringstream os;
+  for (const Diagnostic& d : entries_) {
+    os << severity_name(d.severity) << " [" << d.pass << "] " << d.message
+       << '\n';
+  }
+  return os.str();
+}
+
+void FlowContext::fail(FlowStatus failure, std::string pass,
+                       std::string message) {
+  T1MAP_ASSERT(failure != FlowStatus::kOk);
+  status = failure;
+  diagnostics.error(std::move(pass), std::move(message));
+}
+
+// --- Passes ------------------------------------------------------------------
+
+bool MapPass::run(FlowContext& ctx) const {
+  T1MAP_REQUIRE(ctx.aig != nullptr, "MapPass: context carries no source AIG");
+  sfq::MapStats map_stats;
+  ctx.mapped = sfq::map_to_sfq(
+      *ctx.aig, ctx.params.mapper, &map_stats,
+      ctx.scratch != nullptr ? &ctx.scratch->cuts : nullptr);
+  ctx.mapped.check_well_formed();
+  ctx.has_mapped = true;
+  return true;
+}
+
+bool T1DetectPass::run(FlowContext& ctx) const {
+  T1MAP_REQUIRE(ctx.has_mapped, "T1DetectPass: no mapped netlist (run map "
+                                "before t1)");
+  if (!ctx.params.use_t1) return true;  // disabled by configuration
+  T1MAP_REQUIRE(ctx.params.num_phases >= 3,
+                "the T1 flow needs at least 3 phases (input separation)");
+  const DetectResult det = detect_t1(
+      ctx.mapped, ctx.params.detect,
+      ctx.scratch != nullptr ? &ctx.scratch->cuts : nullptr);
+  ctx.stats.t1_found = det.found;
+  ctx.stats.t1_used = det.used;
+  if (!det.accepted.empty()) {
+    RewriteStats rw;
+    ctx.mapped = apply_t1_rewrite(ctx.mapped, det.accepted, &rw);
+  }
+  return true;
+}
+
+bool StageAssignPass::run(FlowContext& ctx) const {
+  T1MAP_REQUIRE(ctx.has_mapped, "StageAssignPass: no mapped netlist (run map "
+                                "before stage)");
+  ctx.assignment = retime::assign_stages(
+      ctx.mapped,
+      retime::StageParams{ctx.params.num_phases, ctx.params.optimize_stages,
+                          ctx.params.stage_sweeps});
+  ctx.has_assignment = true;
+  return true;
+}
+
+bool DffInsertPass::run(FlowContext& ctx) const {
+  T1MAP_REQUIRE(ctx.has_assignment, "DffInsertPass: no stage assignment (run "
+                                    "stage before dff)");
+  ctx.materialized = retime::insert_dffs(ctx.mapped, ctx.assignment);
+  ctx.has_materialized = true;
+
+  // Table-I statistics of the materialized result.
+  const sfq::Netlist& mat = ctx.materialized.netlist;
+  FlowStats& s = ctx.stats;
+  s.dffs = mat.count_kind(sfq::CellKind::kDff);
+  s.area_jj = mat.cell_area_jj_total();
+  s.depth_cycles = ctx.materialized.stages.depth_cycles();
+  s.num_stages = ctx.materialized.stages.sigma_po;
+  s.t1_cores = mat.num_t1();
+  s.splitters = mat.splitter_count();
+  s.logic_cells = 0;
+  for (std::uint32_t v = 0; v < mat.num_nodes(); ++v) {
+    if (sfq::cell_is_logic(mat.kind(v))) ++s.logic_cells;
+  }
+  return true;
+}
+
+bool TimingCheckPass::run(FlowContext& ctx) const {
+  T1MAP_REQUIRE(ctx.has_materialized, "TimingCheckPass: no materialized "
+                                      "netlist (run dff before timing)");
+  const retime::TimingReport timing = retime::check_timing(
+      ctx.materialized.netlist, ctx.materialized.stages);
+  if (!timing.ok) {
+    ctx.fail(FlowStatus::kTimingViolation, name(),
+             "flow produced a timing-illegal netlist: " +
+                 (timing.violations.empty() ? std::string("?")
+                                            : timing.violations.front()));
+    return false;
+  }
+  return true;
+}
+
+bool SimEquivPass::run(FlowContext& ctx) const {
+  T1MAP_REQUIRE(ctx.has_materialized, "SimEquivPass: no materialized netlist "
+                                      "(run dff before sim)");
+  T1MAP_REQUIRE(ctx.aig != nullptr, "SimEquivPass: context carries no source "
+                                    "AIG");
+  if (ctx.params.verify_rounds <= 0) return true;
+  const std::optional<sfq::Mismatch> mismatch = sfq::find_sim_mismatch(
+      *ctx.aig, ctx.materialized.netlist, ctx.params.verify_rounds,
+      /*seed=*/1, ctx.scratch != nullptr ? &ctx.scratch->sim : nullptr);
+  if (mismatch.has_value()) {
+    ctx.fail(FlowStatus::kNotEquivalent, name(),
+             "flow result is not functionally equivalent to the source AIG "
+             "(first mismatch on PO " +
+                 std::to_string(mismatch->po_index) + ")");
+    return false;
+  }
+  return true;
+}
+
+bool SatCecPass::run(FlowContext& ctx) const {
+  T1MAP_REQUIRE(ctx.has_materialized, "SatCecPass: no materialized netlist "
+                                      "(run dff before cec)");
+  T1MAP_REQUIRE(ctx.aig != nullptr, "SatCecPass: context carries no source "
+                                    "AIG");
+  sat::CecResult result;
+  if (ctx.scratch != nullptr) {
+    result = sat::check_equivalence(*ctx.aig, ctx.materialized.netlist,
+                                    ctx.params.cec_conflict_limit,
+                                    ctx.scratch->solver);
+  } else {
+    result = sat::check_equivalence(*ctx.aig, ctx.materialized.netlist,
+                                    ctx.params.cec_conflict_limit);
+  }
+  ctx.cec = cec_verdict_name(result.verdict);
+  if (result.verdict == sat::CecResult::Verdict::kNotEquivalent) {
+    ctx.fail(FlowStatus::kNotEquivalent, name(),
+             "SAT CEC refuted equivalence: mapped netlist differs from the "
+             "source AIG");
+    return false;
+  }
+  if (result.verdict == sat::CecResult::Verdict::kUnknown) {
+    ctx.diagnostics.warning(
+        name(), "CEC inconclusive within the conflict limit (" +
+                    std::to_string(result.conflicts) + " conflicts)");
+  }
+  return true;
+}
+
+// --- Pipeline ----------------------------------------------------------------
+
+namespace {
+
+/// The single name -> factory registry `make_pass` and `known_passes`
+/// both derive from, so the two can never drift.
+struct PassEntry {
+  const char* name;
+  std::unique_ptr<Pass> (*make)();
+};
+
+template <class P>
+std::unique_ptr<Pass> make_concrete() {
+  return std::make_unique<P>();
+}
+
+constexpr PassEntry kPassRegistry[] = {
+    {"map", &make_concrete<MapPass>},
+    {"t1", &make_concrete<T1DetectPass>},
+    {"stage", &make_concrete<StageAssignPass>},
+    {"dff", &make_concrete<DffInsertPass>},
+    {"timing", &make_concrete<TimingCheckPass>},
+    {"sim", &make_concrete<SimEquivPass>},
+    {"cec", &make_concrete<SatCecPass>},
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> make_pass(const std::string& name) {
+  for (const PassEntry& entry : kPassRegistry) {
+    if (name == entry.name) return entry.make();
+  }
+  return nullptr;
+}
+
+Pipeline& Pipeline::add(std::unique_ptr<Pass> pass) {
+  T1MAP_REQUIRE(pass != nullptr, "Pipeline::add: null pass");
+  passes_.push_back(std::move(pass));
+  return *this;
+}
+
+std::string Pipeline::spec() const {
+  std::string out;
+  for (const auto& pass : passes_) {
+    if (!out.empty()) out += ',';
+    out += pass->name();
+  }
+  return out;
+}
+
+Pipeline Pipeline::default_flow(bool with_cec) {
+  Pipeline p;
+  p.add(std::make_unique<MapPass>())
+      .add(std::make_unique<T1DetectPass>())
+      .add(std::make_unique<StageAssignPass>())
+      .add(std::make_unique<DffInsertPass>())
+      .add(std::make_unique<TimingCheckPass>())
+      .add(std::make_unique<SimEquivPass>());
+  if (with_cec) p.add(std::make_unique<SatCecPass>());
+  return p;
+}
+
+Pipeline Pipeline::parse(const std::string& spec) {
+  // Errors are thrown directly (no T1MAP_REQUIRE source-location prefix):
+  // the CLI surfaces this text verbatim in its usage error.
+  Pipeline p;
+  std::vector<std::string> seen;
+  std::size_t begin = 0;
+  while (begin <= spec.size()) {
+    std::size_t end = spec.find(',', begin);
+    if (end == std::string::npos) end = spec.size();
+    const std::string name = spec.substr(begin, end - begin);
+    std::unique_ptr<Pass> pass = make_pass(name);
+    if (pass == nullptr) {
+      throw ContractError("unknown pass '" + name + "' in '" + spec + "'");
+    }
+    // Ordering is statically checkable for spec-built pipelines, so an
+    // ill-ordered list fails here as a clean message instead of a run-time
+    // contract violation mid-flow.
+    if (const char* needed = pass->requires_pass()) {
+      bool satisfied = false;
+      for (const std::string& prior : seen) satisfied |= prior == needed;
+      if (!satisfied) {
+        throw ContractError("pass '" + name + "' requires '" + needed +
+                            "' earlier in the pipeline '" + spec + "'");
+      }
+    }
+    seen.push_back(name);
+    p.add(std::move(pass));
+    begin = end + 1;
+  }
+  return p;
+}
+
+const std::vector<std::string>& Pipeline::known_passes() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> out;
+    for (const PassEntry& entry : kPassRegistry) out.emplace_back(entry.name);
+    return out;
+  }();
+  return names;
+}
+
+// --- Engine ------------------------------------------------------------------
+
+FlowEngine::FlowEngine() : pipeline_(Pipeline::default_flow()) {}
+
+FlowEngine::FlowEngine(Pipeline pipeline) : pipeline_(std::move(pipeline)) {}
+
+void FlowEngine::set_pipeline(Pipeline pipeline) {
+  pipeline_ = std::move(pipeline);
+}
+
+EngineResult FlowEngine::run_with(const Pipeline& pipeline, const Aig& aig,
+                                  const FlowParams& params,
+                                  FlowScratch& scratch) {
+  T1MAP_REQUIRE(params.num_phases >= 1, "need at least one phase");
+  T1MAP_REQUIRE(!params.use_t1 || params.num_phases >= 3,
+                "the T1 flow needs at least 3 phases (input separation)");
+  T1MAP_REQUIRE(!pipeline.empty(), "FlowEngine: empty pipeline");
+
+  FlowContext ctx;
+  ctx.aig = &aig;
+  ctx.params = params;
+  ctx.scratch = &scratch;
+
+  for (std::size_t i = 0; i < pipeline.size(); ++i) {
+    const Pass& pass = pipeline[i];
+    const Clock::time_point t0 = Clock::now();
+    const bool keep_going = pass.run(ctx);
+    ctx.times.*pass.time_slot() += seconds_between(t0, Clock::now());
+    if (!keep_going) {
+      T1MAP_ASSERT(ctx.status != FlowStatus::kOk);
+      break;
+    }
+  }
+
+  EngineResult result;
+  result.status = ctx.status;
+  result.mapped = std::move(ctx.mapped);
+  result.has_materialized = ctx.has_materialized;
+  result.materialized = std::move(ctx.materialized);
+  result.stats = ctx.stats;
+  result.times = ctx.times;
+  result.diagnostics = std::move(ctx.diagnostics);
+  result.cec = std::move(ctx.cec);
+  return result;
+}
+
+EngineResult FlowEngine::run(const Aig& aig, const FlowParams& params) {
+  return run_with(pipeline_, aig, params, scratch_);
+}
+
+void for_each_with_scratch(
+    std::size_t count, int workers,
+    const std::function<void(std::size_t, FlowScratch&)>& fn) {
+  if (count == 0) return;
+  workers = std::clamp(workers, 1, static_cast<int>(count));
+  if (workers == 1) {
+    FlowScratch scratch;
+    for (std::size_t i = 0; i < count; ++i) fn(i, scratch);
+    return;
+  }
+
+  // Work-stealing over a shared index; each worker owns its scratch, so a
+  // callback writing only index-distinct state is race-free and its output
+  // independent of the interleaving.
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  const auto worker = [&]() {
+    FlowScratch scratch;
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        fn(i, scratch);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(workers));
+  for (int t = 0; t < workers; ++t) threads.emplace_back(worker);
+  for (std::thread& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+std::vector<EngineResult> FlowEngine::run_many(
+    std::span<const Aig* const> aigs, const FlowParams& params,
+    int num_threads) {
+  for (const Aig* aig : aigs) {
+    T1MAP_REQUIRE(aig != nullptr, "run_many: null AIG in batch");
+  }
+  std::vector<EngineResult> results(aigs.size());
+  if (aigs.empty()) return results;
+
+  if (std::clamp(num_threads, 1, static_cast<int>(aigs.size())) == 1) {
+    // Sequential runs stay on the engine's own scratch so capacity keeps
+    // accumulating across run()/run_many() calls.
+    for (std::size_t i = 0; i < aigs.size(); ++i) {
+      results[i] = run_with(pipeline_, *aigs[i], params, scratch_);
+    }
+    return results;
+  }
+  for_each_with_scratch(
+      aigs.size(), num_threads, [&](std::size_t i, FlowScratch& scratch) {
+        results[i] = run_with(pipeline_, *aigs[i], params, scratch);
+      });
+  return results;
+}
+
+}  // namespace t1map::t1

@@ -1,0 +1,325 @@
+/// \file flow_engine.hpp
+/// \brief Composable pass-pipeline API over the Table-I flow.
+///
+/// `run_flow()` (flow.hpp) is a one-shot convenience wrapper; callers that
+/// map many circuits — or one circuit under many configurations — use a
+/// `FlowEngine`, which owns reusable scratch state (cut-enumeration arenas,
+/// the SAT solver, simulation buffers) and executes an explicit `Pipeline`
+/// of `Pass` objects over a shared `FlowContext`.
+///
+/// Design points:
+///   * Passes are stateless and const; all evolving data lives in the
+///     `FlowContext` and all reusable allocations in the `FlowScratch`, so
+///     one `Pipeline` can drive many worker threads concurrently.
+///   * The verification stages (timing validation, random-simulation
+///     equivalence, SAT CEC) are ordinary pipeline passes: individually
+///     toggleable, and reporting failures as structured `Diagnostic`
+///     records plus a `FlowStatus` the caller inspects — not bare throws.
+///     Contract violations on API misuse (e.g. a pipeline that inserts DFFs
+///     before mapping) still throw `ContractError`.
+///   * `FlowEngine::run_many` executes the pipeline over a batch of AIGs on
+///     a thread pool with per-thread scratch; results are index-aligned and
+///     bit-for-bit independent of the thread count.
+///
+/// Minimal embedding:
+/// \code
+///   t1map::t1::FlowEngine engine;                 // default Table-I flow
+///   t1map::t1::FlowParams params;                 // 4 phases, T1 on
+///   const auto result = engine.run(aig, params);
+///   if (!result.ok()) { /* inspect result.diagnostics */ }
+///   use(result.materialized.netlist, result.stats);
+/// \endcode
+
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cut/cut_enum.hpp"
+#include "sat/cec.hpp"
+#include "sfq/netlist_sim.hpp"
+#include "t1/flow.hpp"
+
+namespace t1map::t1 {
+
+// --- Structured diagnostics --------------------------------------------------
+
+enum class Severity { kInfo, kWarning, kError };
+
+const char* severity_name(Severity severity);
+
+/// One structured record emitted by a pass.
+struct Diagnostic {
+  Severity severity = Severity::kInfo;
+  std::string pass;     // Pass::name() of the emitter
+  std::string message;  // human-readable detail
+};
+
+/// Ordered sink of per-pass records; carried by the `FlowContext` and
+/// returned in the `EngineResult`.
+class Diagnostics {
+ public:
+  void add(Severity severity, std::string pass, std::string message);
+  void info(std::string pass, std::string message);
+  void warning(std::string pass, std::string message);
+  void error(std::string pass, std::string message);
+
+  const std::vector<Diagnostic>& entries() const { return entries_; }
+  bool empty() const { return entries_.empty(); }
+  bool has_errors() const;
+  /// Message of the first error record ("" when none) — what the
+  /// `run_flow()` compatibility wrapper rethrows.
+  std::string first_error() const;
+  /// Multi-line `severity [pass] message` rendering.
+  std::string to_string() const;
+
+ private:
+  std::vector<Diagnostic> entries_;
+};
+
+/// How a pipeline execution ended.  Anything but kOk has at least one error
+/// diagnostic explaining it.
+enum class FlowStatus {
+  kOk = 0,
+  kTimingViolation,  // TimingCheckPass: materialized netlist is illegal
+  kNotEquivalent,    // SimEquivPass / SatCecPass: result differs from source
+};
+
+const char* flow_status_name(FlowStatus status);
+
+/// Canonical CLI/JSON name of a CEC verdict.
+const char* cec_verdict_name(sat::CecResult::Verdict verdict);
+
+// --- Engine state ------------------------------------------------------------
+
+/// Reusable per-thread scratch: every allocation-heavy substrate the passes
+/// touch.  Reset-and-reuse semantics — holding one `FlowScratch` across
+/// thousands of runs stops paying arena growth after the first.
+struct FlowScratch {
+  CutWorkspace cuts;    // MapPass + T1DetectPass enumeration arenas
+  sat::Solver solver;   // SatCecPass clause arena
+  sfq::SimScratch sim;  // SimEquivPass stimulus buffer
+};
+
+/// The shared state a pipeline evolves.  Passes read what upstream passes
+/// produced and write their own products; the `has_*` flags gate the
+/// ordering contracts.
+struct FlowContext {
+  // Inputs, set by the engine before the first pass.
+  const Aig* aig = nullptr;
+  FlowParams params;
+  FlowScratch* scratch = nullptr;  // may be null: passes fall back to locals
+
+  // Evolving netlist state.
+  sfq::Netlist mapped;  // post-mapping (and post-T1-rewrite) network
+  bool has_mapped = false;
+  retime::StageAssignment assignment;
+  bool has_assignment = false;
+  retime::MaterializeResult materialized;
+  bool has_materialized = false;
+
+  // Outputs.
+  FlowStats stats;
+  StageTimes times;
+  Diagnostics diagnostics;
+  FlowStatus status = FlowStatus::kOk;
+  std::string cec = "skipped";  // SatCecPass verdict when the pass ran
+
+  /// Records a structured failure: sets `status` and appends an error
+  /// diagnostic.  The failing pass returns false to stop the pipeline.
+  void fail(FlowStatus failure, std::string pass, std::string message);
+};
+
+// --- Passes ------------------------------------------------------------------
+
+/// One pipeline stage.  Implementations are stateless (configuration comes
+/// from `ctx.params`), so a single instance may serve concurrent contexts.
+class Pass {
+ public:
+  virtual ~Pass() = default;
+  /// Stable identifier: used by `Pipeline::parse`, diagnostics and docs.
+  virtual const char* name() const = 0;
+  /// Executes on `ctx`.  Returns false to stop the pipeline after recording
+  /// a structured failure via `ctx.fail`; throws only on API misuse.
+  virtual bool run(FlowContext& ctx) const = 0;
+  /// The `StageTimes` bucket this pass accumulates into.
+  virtual double StageTimes::* time_slot() const {
+    return &StageTimes::self_check;
+  }
+  /// Name of the pass that must appear earlier in a pipeline for this one
+  /// to find its inputs (nullptr = none).  `Pipeline::parse` rejects specs
+  /// that violate it; the run-time `T1MAP_REQUIRE`s in `run` stay the
+  /// authority for programmatically composed pipelines.
+  virtual const char* requires_pass() const { return nullptr; }
+};
+
+/// Technology mapping (AIG → SFQ cells), including cut enumeration.
+class MapPass final : public Pass {
+ public:
+  const char* name() const override { return "map"; }
+  bool run(FlowContext& ctx) const override;
+  double StageTimes::* time_slot() const override { return &StageTimes::map; }
+};
+
+/// T1 detection + substitution (no-op when `params.use_t1` is false).
+class T1DetectPass final : public Pass {
+ public:
+  const char* name() const override { return "t1"; }
+  bool run(FlowContext& ctx) const override;
+  double StageTimes::* time_slot() const override {
+    return &StageTimes::t1_detect;
+  }
+  const char* requires_pass() const override { return "map"; }
+};
+
+/// Multiphase stage assignment (§II-B).
+class StageAssignPass final : public Pass {
+ public:
+  const char* name() const override { return "stage"; }
+  bool run(FlowContext& ctx) const override;
+  double StageTimes::* time_slot() const override {
+    return &StageTimes::stage_assign;
+  }
+  const char* requires_pass() const override { return "map"; }
+};
+
+/// DFF materialization (§II-C) + Table-I statistics.
+class DffInsertPass final : public Pass {
+ public:
+  const char* name() const override { return "dff"; }
+  bool run(FlowContext& ctx) const override;
+  double StageTimes::* time_slot() const override {
+    return &StageTimes::dff_insert;
+  }
+  const char* requires_pass() const override { return "stage"; }
+};
+
+/// Independent timing validation of the materialized netlist.
+class TimingCheckPass final : public Pass {
+ public:
+  const char* name() const override { return "timing"; }
+  bool run(FlowContext& ctx) const override;
+  const char* requires_pass() const override { return "dff"; }
+};
+
+/// Random-simulation equivalence against the source AIG
+/// (`params.verify_rounds` rounds; no-op when 0).
+class SimEquivPass final : public Pass {
+ public:
+  const char* name() const override { return "sim"; }
+  bool run(FlowContext& ctx) const override;
+  const char* requires_pass() const override { return "dff"; }
+};
+
+/// SAT CEC of the materialized netlist against the source AIG; records the
+/// verdict in `ctx.cec`.
+class SatCecPass final : public Pass {
+ public:
+  const char* name() const override { return "cec"; }
+  bool run(FlowContext& ctx) const override;
+  double StageTimes::* time_slot() const override { return &StageTimes::cec; }
+  const char* requires_pass() const override { return "dff"; }
+};
+
+/// Factory over the pass registry; nullptr for unknown names.
+std::unique_ptr<Pass> make_pass(const std::string& name);
+
+/// Shared worker-pool core: invokes `fn(index, scratch)` for every index in
+/// [0, count) on `workers` threads (1 = inline on the calling thread), one
+/// `FlowScratch` per worker, and rethrows the first worker exception on the
+/// caller.  `fn` must write only index-distinct state.  `FlowEngine::run_many`
+/// and the CLI's parallel configuration runner both sit on this.
+void for_each_with_scratch(
+    std::size_t count, int workers,
+    const std::function<void(std::size_t, FlowScratch&)>& fn);
+
+// --- Pipeline ----------------------------------------------------------------
+
+/// An ordered, owned sequence of passes.  Move-only.
+class Pipeline {
+ public:
+  Pipeline() = default;
+  Pipeline(Pipeline&&) = default;
+  Pipeline& operator=(Pipeline&&) = default;
+
+  Pipeline& add(std::unique_ptr<Pass> pass);
+
+  std::size_t size() const { return passes_.size(); }
+  bool empty() const { return passes_.empty(); }
+  const Pass& operator[](std::size_t i) const { return *passes_[i]; }
+  /// Comma-joined pass names, `parse`-compatible.
+  std::string spec() const;
+
+  /// The Table-I flow `run_flow` executes:
+  /// map,t1,stage,dff,timing,sim.  Pass `with_cec` to append SAT CEC.
+  static Pipeline default_flow(bool with_cec = false);
+  /// Builds from a comma-separated name list (e.g. "map,t1,stage,dff").
+  /// Throws ContractError on unknown or empty names.
+  static Pipeline parse(const std::string& spec);
+  /// Every name `parse`/`make_pass` accepts, in canonical flow order.
+  static const std::vector<std::string>& known_passes();
+
+ private:
+  std::vector<std::unique_ptr<Pass>> passes_;
+};
+
+// --- Engine ------------------------------------------------------------------
+
+/// What `FlowEngine::run` returns: the `run_flow` payload plus the
+/// structured outcome.  On failure (`!ok()`), the netlist fields are filled
+/// up to the failing pass, so callers can post-mortem the partial result.
+struct EngineResult {
+  FlowStatus status = FlowStatus::kOk;
+  bool ok() const { return status == FlowStatus::kOk; }
+
+  sfq::Netlist mapped;                    // pre-retiming network
+  /// False when the pipeline had no dff pass (or stopped before it):
+  /// `materialized` is then default-constructed, not a mapped design.
+  bool has_materialized = false;
+  retime::MaterializeResult materialized;
+  FlowStats stats;
+  StageTimes times;
+  Diagnostics diagnostics;
+  std::string cec = "skipped";
+};
+
+/// Executes a `Pipeline` over AIGs, owning the reusable scratch state.  Not
+/// itself thread-safe: use one engine per thread, or `run_many`, which
+/// spawns per-thread scratch internally.
+class FlowEngine {
+ public:
+  /// Engine over the default Table-I pipeline (no CEC).
+  FlowEngine();
+  explicit FlowEngine(Pipeline pipeline);
+
+  const Pipeline& pipeline() const { return pipeline_; }
+  void set_pipeline(Pipeline pipeline);
+
+  /// Runs the pipeline on one AIG, reusing this engine's scratch.
+  EngineResult run(const Aig& aig, const FlowParams& params = {});
+
+  /// Deterministic batched execution: maps every AIG with `num_threads`
+  /// workers (clamped to [1, aigs.size()]), one `FlowScratch` per worker.
+  /// Results are index-aligned with `aigs` and identical to sequential
+  /// execution regardless of the thread count.  The first exception thrown
+  /// by a worker (contract violation) is rethrown on the calling thread.
+  std::vector<EngineResult> run_many(std::span<const Aig* const> aigs,
+                                     const FlowParams& params,
+                                     int num_threads);
+
+  FlowScratch& scratch() { return scratch_; }
+
+  /// Stateless core shared by `run`, `run_many` and `run_flow`: executes
+  /// `pipeline` on `aig` with caller-supplied scratch.
+  static EngineResult run_with(const Pipeline& pipeline, const Aig& aig,
+                               const FlowParams& params, FlowScratch& scratch);
+
+ private:
+  Pipeline pipeline_;
+  FlowScratch scratch_;
+};
+
+}  // namespace t1map::t1

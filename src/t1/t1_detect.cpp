@@ -101,10 +101,14 @@ bool output_is_negated(T1Output output) {
   return output == T1Output::kCn || output == T1Output::kQn;
 }
 
-DetectResult detect_t1(const Netlist& ntk, const DetectParams& params) {
+DetectResult detect_t1(const Netlist& ntk, const DetectParams& params,
+                       CutWorkspace* workspace) {
   T1MAP_REQUIRE(ntk.num_t1() == 0,
                 "detect_t1 expects a netlist without T1 cells");
-  const auto cuts = enumerate_cuts(ntk, params.cuts);
+  CutWorkspace local_ws;
+  CutWorkspace& ws = workspace != nullptr ? *workspace : local_ws;
+  enumerate_cuts_into(ntk, params.cuts, ws);
+  const CutSet& cuts = ws.cuts;
 
   // Consumer lists + PO flags for MFFC computation.
   std::vector<std::vector<std::uint32_t>> fanouts(ntk.num_nodes());

@@ -75,8 +75,11 @@ struct DetectResult {
   int used = 0;
 };
 
-/// Runs detection on a mapped (T1-free) netlist.
+/// Runs detection on a mapped (T1-free) netlist.  `workspace`, when given,
+/// supplies the cut-enumeration arena (reset per call; reuse across runs
+/// avoids arena growth without changing the result).
 DetectResult detect_t1(const sfq::Netlist& ntk,
-                       const DetectParams& params = {});
+                       const DetectParams& params = {},
+                       CutWorkspace* workspace = nullptr);
 
 }  // namespace t1map::t1
