@@ -31,6 +31,16 @@ const std::vector<std::string>& small_set() {
   return names;
 }
 
+/// Deep-netlist subset: hundreds-to-thousands of stages, exercising the
+/// `t1_detect` grouping and `stage_assign` frontier sweeps on long
+/// ripple/CORDIC chains rather than wide shallow logic.
+const std::vector<std::string>& deep_set() {
+  static const std::vector<std::string> names = {
+      "adder256", "cordic32", "log2_16",
+  };
+  return names;
+}
+
 /// min / mean / max over `runs` samples of one stage, in milliseconds.
 struct StageSamples {
   double min = std::numeric_limits<double>::max();
@@ -48,8 +58,13 @@ struct StageSamples {
   io::Json json() const {
     io::Json j = io::Json::object();
     j.set("min_ms", count > 0 ? min : 0.0);
-    j.set("mean_ms", count > 0 ? sum / static_cast<double>(count) : 0.0);
-    j.set("max_ms", count > 0 ? max : 0.0);
+    // A single run has no spread: mean == min == max, and downstream
+    // tooling would read the duplicated numbers as a (degenerate) jitter
+    // measurement.  Only emit the jitter fields when they carry one.
+    if (count > 1) {
+      j.set("mean_ms", sum / static_cast<double>(count));
+      j.set("max_ms", max);
+    }
     return j;
   }
 };
@@ -86,7 +101,9 @@ int run_bench(const Options& opts) {
   const std::vector<std::string> circuits =
       !opts.gen_name.empty()
           ? std::vector<std::string>{opts.gen_name}
-          : (opts.bench_set == "table1" ? gen::table1_names() : small_set());
+          : (opts.bench_set == "table1"
+                 ? gen::table1_names()
+                 : (opts.bench_set == "deep" ? deep_set() : small_set()));
 
   t1::FlowParams params;
   params.num_phases = opts.phases;

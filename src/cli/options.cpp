@@ -56,6 +56,8 @@ void validate_passes(const std::string& spec) {
 Options parse_options(int argc, const char* const* argv) {
   Options opts;
   std::vector<std::string> args(argv + 1, argv + argc);
+  // First bench-harness flag seen, for the "needs --bench" diagnostic.
+  std::string bench_only_flag;
 
   const auto value_of = [&](std::size_t& i) -> std::string {
     if (i + 1 >= args.size()) {
@@ -93,14 +95,18 @@ Options parse_options(int argc, const char* const* argv) {
     } else if (arg == "--bench") {
       opts.bench = true;
     } else if (arg == "--bench-runs") {
+      bench_only_flag = arg;
       opts.bench_runs = parse_int(arg, value_of(i), 1, 1000);
     } else if (arg == "--bench-set") {
+      bench_only_flag = arg;
       opts.bench_set = value_of(i);
-      if (opts.bench_set != "small" && opts.bench_set != "table1") {
-        throw UsageError("--bench-set must be small|table1, got '" +
+      if (opts.bench_set != "small" && opts.bench_set != "table1" &&
+          opts.bench_set != "deep") {
+        throw UsageError("--bench-set must be small|table1|deep, got '" +
                          opts.bench_set + "'");
       }
     } else if (arg == "--bench-out") {
+      bench_only_flag = arg;
       opts.bench_out = value_of(i);
     } else if (arg == "--json") {
       opts.json = true;
@@ -120,6 +126,10 @@ Options parse_options(int argc, const char* const* argv) {
   }
 
   if (opts.help || opts.list_gens) return opts;
+  if (!opts.bench && !bench_only_flag.empty()) {
+    throw UsageError(bench_only_flag +
+                     " configures the bench harness and needs --bench");
+  }
   if (opts.skip_checks && !opts.passes.empty()) {
     throw UsageError("--skip-checks and --passes both select the pipeline; "
                      "use one of them");
@@ -197,9 +207,13 @@ std::string usage() {
       "                              overrides --no-cec, report mode only\n"
       "  --bench                     measure per-stage wall times and write\n"
       "                              a BENCH_flow.json trajectory file\n"
-      "  --bench-runs N              repetitions per circuit (default 3)\n"
-      "  --bench-set small|table1    circuit set (default small; table1 runs\n"
-      "                              the paper-size benchmarks)\n"
+      "  --bench-runs N              repetitions per circuit (default 3;\n"
+      "                              with 1 run the JSON omits the mean/max\n"
+      "                              jitter fields)\n"
+      "  --bench-set small|table1|deep\n"
+      "                              circuit set (default small; table1 runs\n"
+      "                              the paper-size benchmarks, deep the\n"
+      "                              long-chain adder256/cordic32/log2_16)\n"
       "  --bench-out FILE            bench output path ('-' = stdout;\n"
       "                              default BENCH_flow.json)\n"
       "  --out-blif FILE             write the mapped netlist as BLIF\n"

@@ -46,7 +46,9 @@ std::vector<Lit> constant(std::uint64_t value, int width) {
 }  // namespace
 
 Aig cordic_sin(int width, int iterations) {
-  T1MAP_REQUIRE(width >= 4 && width <= 28, "cordic width out of range");
+  // Double-precision angle constants stay exact well past 40 fraction
+  // bits; the cap merely keeps `to_fixed` inside its 64-bit register.
+  T1MAP_REQUIRE(width >= 4 && width <= 40, "cordic width out of range");
   T1MAP_REQUIRE(iterations >= 1 && iterations <= width + 2,
                 "cordic iteration count out of range");
   Aig aig;

@@ -73,6 +73,13 @@ Aig make_named(const std::string& name) {
     if (family == "sin" || family == "cordic") {
       return cordic_sin(size, std::max(1, size - 2));
     }
+    if (family == "log2_") {
+      // Same parameter shape as the Table-I `log2` (which log2_32 equals):
+      // half-width mantissa, 5N/16 fraction bits, both inside the
+      // generator's supported band.
+      return log2_circuit(size, std::clamp(size / 2, 4, 24),
+                          std::clamp(size * 5 / 16, 1, 24));
+    }
   }
   T1MAP_REQUIRE(false, "unknown generator: " + name +
                            " (try `t1map --list-gens`)");
@@ -89,7 +96,9 @@ std::string describe_generators() {
       "  square<N>      N-bit squarer, N >= 2               e.g. square12\n"
       "  voter<N>       N-input majority voter, odd N >= 3  e.g. voter25\n"
       "  comparator<N>  N-bit adder+comparator, N >= 2 (c7552-like)\n"
-      "  sin<N>         N-bit CORDIC sine, 4 <= N <= 28     e.g. sin12\n";
+      "  sin<N>         N-bit CORDIC sine, 4 <= N <= 40     e.g. sin12\n"
+      "  cordic<N>      alias of sin<N> (deep ripple-chain stress)\n"
+      "  log2_<N>       N-bit log2, N a power of two >= 4   e.g. log2_16\n";
 }
 
 const std::vector<PaperRow>& paper_table1() {

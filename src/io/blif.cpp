@@ -257,21 +257,34 @@ class BlifReader {
     }
   }
 
+  /// Reads one logical line: CRLF-normalized, comments stripped, `\`
+  /// continuations joined.  The final line needs no trailing newline, and
+  /// a continuation backslash may carry trailing whitespace (CR included).
+  /// Joined fragments are separated by a space — BLIF writers put the `\`
+  /// at a token boundary, and literal concatenation would silently fuse
+  /// the last token of one fragment with the first of the next (dropping
+  /// a `.names` input or corrupting a cover row).
   bool next_logical_line(std::string& out) {
     out.clear();
+    bool have_fragment = false;
     std::string raw;
     while (std::getline(is_, raw)) {
-      if (!raw.empty() && raw.back() == '\r') raw.pop_back();  // CRLF input
       if (const std::size_t hash = raw.find('#'); hash != std::string::npos) {
         raw.erase(hash);
       }
+      while (!raw.empty() && std::isspace(static_cast<unsigned char>(
+                                 raw.back())) != 0) {
+        raw.pop_back();  // CRLF input, stray blanks after a continuation
+      }
       const bool continued = !raw.empty() && raw.back() == '\\';
       if (continued) raw.pop_back();
+      if (have_fragment) out += ' ';
       out += raw;
+      have_fragment = true;
       if (continued) continue;
       return true;
     }
-    return !out.empty();
+    return have_fragment && !out.empty();
   }
 
   void add_cover_row(NamesGate& gate, const std::vector<std::string>& tokens,

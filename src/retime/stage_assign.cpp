@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <limits>
+#include <span>
+
+#include "common/csr.hpp"
 
 namespace t1map::retime {
 
@@ -12,6 +15,12 @@ using sfq::Netlist;
 
 constexpr int kNoStage = std::numeric_limits<int>::min();
 
+/// Sanity band for stage values fed into sentinel-sensitive arithmetic:
+/// anything outside is either the `kNoStage` sentinel leaking through or a
+/// corrupted assignment, and offset/subtraction math on it would be signed
+/// overflow (UB).  Real designs stay far below 2^30 stages.
+constexpr int kMaxStage = 1 << 30;
+
 /// Stage at which a fanin node's pulse is produced; kNoStage for constants
 /// (their "pulses" are locally generated and need no balancing).
 int producer_stage(const Netlist& ntk, const std::vector<int>& sigma,
@@ -21,49 +30,63 @@ int producer_stage(const Netlist& ntk, const std::vector<int>& sigma,
 }
 
 /// Per-node consumer lists (regular cells and T1 cores; taps excluded
-/// because they share the core's physical cell).
+/// because they share the core's physical cell).  CSR-backed: two flat
+/// arrays per relation instead of one heap vector per node.
 struct Consumers {
+  /// One T1 data-input reference: consuming core + input index.
+  struct T1Pin {
+    std::uint32_t node;
+    std::uint8_t pin;
+  };
   // For each node: regular consumers' node ids.
-  std::vector<std::vector<std::uint32_t>> regular;
+  Csr<std::uint32_t> regular;
   // For each node: T1 cores consuming it (with input index).
-  std::vector<std::vector<std::pair<std::uint32_t, int>>> t1;
+  Csr<T1Pin> t1;
   // Whether the node drives at least one PO.
-  std::vector<bool> drives_po;
+  std::vector<std::uint8_t> drives_po;
 };
 
 Consumers build_consumers(const Netlist& ntk) {
   Consumers c;
-  c.regular.resize(ntk.num_nodes());
-  c.t1.resize(ntk.num_nodes());
-  c.drives_po.assign(ntk.num_nodes(), false);
-  for (std::uint32_t v = 0; v < ntk.num_nodes(); ++v) {
-    const CellKind k = ntk.kind(v);
-    if (ntk.is_tap(v)) continue;  // tap-core edges are internal pins
-    if (k == CellKind::kT1) {
-      const auto f = ntk.fanins(v);
-      for (int j = 0; j < 3; ++j) {
-        if (!ntk.is_const(f[j])) c.t1[f[j]].emplace_back(v, j);
+  const std::uint32_t n = ntk.num_nodes();
+  c.regular.build(n, [&](auto&& edge) {
+    for (std::uint32_t v = 0; v < n; ++v) {
+      if (ntk.is_tap(v) || ntk.kind(v) == CellKind::kT1) continue;
+      for (const std::uint32_t u : ntk.fanins(v)) {
+        if (!ntk.is_const(u)) edge(u, v);
       }
-      continue;
     }
-    for (const std::uint32_t u : ntk.fanins(v)) {
-      if (!ntk.is_const(u)) c.regular[u].push_back(v);
+  });
+  c.t1.build(n, [&](auto&& edge) {
+    for (std::uint32_t v = 0; v < n; ++v) {
+      if (ntk.kind(v) != CellKind::kT1) continue;
+      const auto f = ntk.fanins(v);
+      for (std::uint8_t j = 0; j < 3; ++j) {
+        if (!ntk.is_const(f[j])) edge(f[j], Consumers::T1Pin{v, j});
+      }
     }
-  }
-  for (const auto& po : ntk.pos()) c.drives_po[po.driver] = true;
+  });
+  c.drives_po.assign(n, 0);
+  for (const auto& po : ntk.pos()) c.drives_po[po.driver] = 1;
   return c;
 }
 
 /// DFFs of the shared chain from a driver at `su` to regular consumers.
-long driver_chain_dffs(int su, const std::vector<std::uint32_t>& consumers,
+/// Guarded against the `kNoStage` sentinel on either side: an unplaced or
+/// constant driver has no chain, and unplaced consumers don't stretch one
+/// (naive `max_sv - su` on sentinel stages is signed-overflow UB).
+long driver_chain_dffs(int su, std::span<const std::uint32_t> consumers,
                        bool drives_po, int sigma_po,
                        const std::vector<int>& sigma, int n) {
+  if (su == kNoStage) return 0;
   int max_sv = drives_po ? sigma_po : kNoStage;
   for (const std::uint32_t v : consumers) {
-    max_sv = std::max(max_sv, sigma[v]);
+    if (sigma[v] != kNoStage) max_sv = std::max(max_sv, sigma[v]);
   }
   if (max_sv == kNoStage) return 0;
-  return std::max(0, ceil_div(max_sv - su, n) - 1);
+  const long gap = static_cast<long>(max_sv) - su;
+  if (gap <= 0) return 0;
+  return std::max(0l, (gap + n - 1) / n - 1);
 }
 
 }  // namespace
@@ -74,6 +97,9 @@ int t1_min_stage(std::array<int, 3> s) {
   // pulse still needs a distinct arrival slot.
   for (int& v : s) {
     if (v == kNoStage) v = 0;
+    T1MAP_REQUIRE(v > -kMaxStage && v < kMaxStage,
+                  "t1_min_stage: producer stage out of range (sentinel "
+                  "leaked into stage arithmetic?)");
   }
   return std::max({s[0] + 3, s[1] + 2, s[2] + 1});
 }
@@ -81,6 +107,12 @@ int t1_min_stage(std::array<int, 3> s) {
 T1Releases solve_t1_releases(const std::array<int, 3>& producer_stage,
                              int sigma_t1, int n) {
   T1MAP_REQUIRE(n >= 3, "T1 cells require at least 3 clock phases");
+  T1MAP_REQUIRE(sigma_t1 > -kMaxStage && sigma_t1 < kMaxStage,
+                "solve_t1_releases: sigma_t1 out of range");
+  for (const int s : producer_stage) {
+    T1MAP_REQUIRE(s > -kMaxStage && s < kMaxStage,
+                  "solve_t1_releases: producer stage out of range");
+  }
   const int window_lo = sigma_t1 - n;
   const int window_hi = sigma_t1 - 1;
   constexpr long kInfeasible = std::numeric_limits<long>::max();
@@ -194,7 +226,7 @@ DffCount count_dffs(const Netlist& ntk, const StageAssignment& sa) {
   for (std::uint32_t u = 0; u < ntk.num_nodes(); ++u) {
     if (ntk.is_const(u) || ntk.is_t1(u)) continue;
     count.regular += driver_chain_dffs(sa.sigma[u], cons.regular[u],
-                                       cons.drives_po[u], sa.sigma_po,
+                                       cons.drives_po[u] != 0, sa.sigma_po,
                                        sa.sigma, n);
   }
   for (std::uint32_t t = 0; t < ntk.num_nodes(); ++t) {
@@ -212,7 +244,8 @@ DffCount count_dffs(const Netlist& ntk, const StageAssignment& sa) {
 
 namespace {
 
-/// ASAP pass: earliest legal stage per node in topological (id) order.
+/// ASAP pass: earliest legal stage per node in topological (id) order —
+/// longest-path seeding, one linear scan, no relaxation.
 void asap(const Netlist& ntk, std::vector<int>& sigma) {
   sigma.assign(ntk.num_nodes(), 0);
   for (std::uint32_t v = 0; v < ntk.num_nodes(); ++v) {
@@ -248,12 +281,12 @@ void asap(const Netlist& ntk, std::vector<int>& sigma) {
 /// release costs v participates in.  Used to score candidate moves.
 long local_cost(const Netlist& ntk, const Consumers& cons,
                 const std::vector<int>& sigma, int sigma_po, int n,
-                std::uint32_t v, const std::vector<std::uint32_t>& taps_of_v) {
+                std::uint32_t v, std::span<const std::uint32_t> taps_of_v) {
   long cost = 0;
   const auto driver_cost = [&](std::uint32_t u) {
     if (ntk.is_const(u) || ntk.is_t1(u)) return 0l;
-    return driver_chain_dffs(sigma[u], cons.regular[u], cons.drives_po[u],
-                             sigma_po, sigma, n);
+    return driver_chain_dffs(sigma[u], cons.regular[u],
+                             cons.drives_po[u] != 0, sigma_po, sigma, n);
   };
   const auto t1_cost = [&](std::uint32_t t) {
     std::array<int, 3> s{};
@@ -269,17 +302,11 @@ long local_cost(const Netlist& ntk, const Consumers& cons,
     cost += t1_cost(v);
     for (const std::uint32_t tap : taps_of_v) {
       cost += driver_cost(tap);
-      for (const auto& [t1, idx] : cons.t1[tap]) {
-        (void)idx;
-        cost += t1_cost(t1);
-      }
+      for (const Consumers::T1Pin& p : cons.t1[tap]) cost += t1_cost(p.node);
     }
   } else {
     cost += driver_cost(v);
-    for (const auto& [t1, idx] : cons.t1[v]) {
-      (void)idx;
-      cost += t1_cost(t1);
-    }
+    for (const Consumers::T1Pin& p : cons.t1[v]) cost += t1_cost(p.node);
   }
   // Fanins' chains see v as a consumer.
   for (const std::uint32_t u : ntk.fanins(v)) {
@@ -292,7 +319,7 @@ long local_cost(const Netlist& ntk, const Consumers& cons,
 /// legal for v and all its direct consumers.
 bool move_is_legal(const Netlist& ntk, const Consumers& cons,
                    std::vector<int>& sigma, int sigma_po, int n,
-                   std::uint32_t v, const std::vector<std::uint32_t>& taps,
+                   std::uint32_t v, std::span<const std::uint32_t> taps,
                    int s) {
   const int old = sigma[v];
   sigma[v] = s;
@@ -303,11 +330,12 @@ bool move_is_legal(const Netlist& ntk, const Consumers& cons,
     for (const std::uint32_t w : cons.regular[producer]) {
       if (!fanin_side_ok(ntk, sigma, w, n)) return false;
     }
-    for (const auto& [t1, idx] : cons.t1[producer]) {
-      (void)idx;
-      if (!fanin_side_ok(ntk, sigma, t1, n)) return false;
+    for (const Consumers::T1Pin& p : cons.t1[producer]) {
+      if (!fanin_side_ok(ntk, sigma, p.node, n)) return false;
     }
-    if (cons.drives_po[producer] && sigma_po <= sigma[producer]) return false;
+    if (cons.drives_po[producer] != 0 && sigma_po <= sigma[producer]) {
+      return false;
+    }
     return true;
   };
   if (ok) {
@@ -353,23 +381,86 @@ StageAssignment assign_stages(const Netlist& ntk, const StageParams& params) {
 
   const Consumers cons = build_consumers(ntk);
   const int n = params.num_phases;
+  const std::uint32_t nn = ntk.num_nodes();
 
   // Tap lists per T1 core (cores move together with their taps).
-  std::vector<std::vector<std::uint32_t>> taps(ntk.num_nodes());
-  for (std::uint32_t v = 0; v < ntk.num_nodes(); ++v) {
-    if (ntk.is_tap(v)) taps[ntk.fanins(v)[0]].push_back(v);
-  }
-  static const std::vector<std::uint32_t> kNoTaps;
+  Csr<std::uint32_t> taps;
+  taps.build(nn, [&](auto&& edge) {
+    for (std::uint32_t v = 0; v < nn; ++v) {
+      if (ntk.is_tap(v)) edge(ntk.fanins(v)[0], v);
+    }
+  });
+
+  // --- Frontier-based coordinate descent -------------------------------
+  //
+  // A node's move decision is a pure function of the stages in its 2-hop
+  // neighborhood (its own, fanins', consumers', and — through shared
+  // chains and T1 release windows — siblings': consumers of fanins and
+  // fanins of consumers).  So a node whose neighborhood has not changed
+  // since its last evaluation provably re-evaluates to "no move", and
+  // skipping it cannot change the result.  Each applied move marks its
+  // (conservatively widened) affected set dirty for both the remainder of
+  // this sweep and the next one; everything else is skipped.  The move
+  // sequence — and therefore every stage — is bit-for-bit identical to
+  // the full fixed-point relaxation this replaces, but late sweeps on
+  // deep netlists (long adder/CORDIC chains) touch only the shrinking
+  // frontier instead of re-scanning every node, and the first no-move
+  // sweep over an empty frontier is free.
+  std::vector<std::uint8_t> dirty_cur(nn, 1);
+  std::vector<std::uint8_t> dirty_next(nn, 0);
+  const auto canon = [&](std::uint32_t x) {
+    return ntk.is_tap(x) ? ntk.fanins(x)[0] : x;
+  };
+  const auto mark = [&](std::uint32_t x) {
+    x = canon(x);
+    dirty_cur[x] = 1;
+    dirty_next[x] = 1;
+  };
+  // Movable out-edges of x: regular + T1 consumers, through taps when x is
+  // a core (tap-core edges are internal pins).
+  const auto for_each_consumer = [&](std::uint32_t x, auto&& fn) {
+    const auto each_out = [&](std::uint32_t y) {
+      for (const std::uint32_t w : cons.regular[y]) fn(w);
+      for (const Consumers::T1Pin& p : cons.t1[y]) fn(p.node);
+    };
+    if (ntk.is_t1(x)) {
+      for (const std::uint32_t tap : taps[x]) each_out(tap);
+    } else {
+      each_out(x);
+    }
+  };
+  const auto for_each_fanin = [&](std::uint32_t x, auto&& fn) {
+    for (const std::uint32_t u : ntk.fanins(x)) {
+      if (!ntk.is_const(u)) fn(canon(u));
+    }
+  };
+  const auto mark_affected = [&](std::uint32_t v) {
+    mark(v);
+    for_each_fanin(v, [&](std::uint32_t u) {
+      mark(u);
+      for_each_consumer(u, [&](std::uint32_t w) { mark(w); });
+    });
+    for_each_consumer(v, [&](std::uint32_t w) {
+      mark(w);
+      for_each_fanin(w, [&](std::uint32_t u) { mark(u); });
+    });
+  };
+
+  std::vector<int> candidates;  // reused across nodes, no per-node heap
+  static constexpr std::span<const std::uint32_t> kNoTaps;
 
   for (int sweep = 0; sweep < params.max_sweeps; ++sweep) {
     bool changed = false;
-    for (std::uint32_t v = 0; v < ntk.num_nodes(); ++v) {
+    for (std::uint32_t v = 0; v < nn; ++v) {
+      if (!dirty_cur[v]) continue;
+      dirty_cur[v] = 0;
       if (ntk.is_pi(v) || ntk.is_const(v) || ntk.is_tap(v)) continue;
-      const auto& my_taps = ntk.is_t1(v) ? taps[v] : kNoTaps;
+      const std::span<const std::uint32_t> my_taps =
+          ntk.is_t1(v) ? taps[v] : kNoTaps;
 
       // Candidate stages: breakpoints induced by fanins (σu+1, σu+1+n) and
       // consumers (σw−1, σw−1−n), clipped to legality by move_is_legal.
-      std::vector<int> candidates;
+      candidates.clear();
       candidates.push_back(sa.sigma[v]);
       for (const std::uint32_t u : ntk.fanins(v)) {
         const int ps = producer_stage(ntk, sa.sigma, u);
@@ -383,13 +474,12 @@ StageAssignment assign_stages(const Netlist& ntk, const StageParams& params) {
           candidates.push_back(sa.sigma[w] - 1);
           candidates.push_back(sa.sigma[w] - 1 - n);
         }
-        for (const auto& [t1, idx] : cons.t1[producer]) {
-          (void)idx;
-          candidates.push_back(sa.sigma[t1] - 1);
-          candidates.push_back(sa.sigma[t1] - 3);
-          candidates.push_back(sa.sigma[t1] - n);
+        for (const Consumers::T1Pin& p : cons.t1[producer]) {
+          candidates.push_back(sa.sigma[p.node] - 1);
+          candidates.push_back(sa.sigma[p.node] - 3);
+          candidates.push_back(sa.sigma[p.node] - n);
         }
-        if (cons.drives_po[producer]) {
+        if (cons.drives_po[producer] != 0) {
           candidates.push_back(sa.sigma_po - 1);
           candidates.push_back(sa.sigma_po - 1 - n);
         }
@@ -428,10 +518,13 @@ StageAssignment assign_stages(const Netlist& ntk, const StageParams& params) {
                                       my_taps, best_stage);
         T1MAP_ASSERT(ok);
         (void)ok;
+        mark_affected(v);
         changed = true;
       }
     }
     if (!changed) break;
+    dirty_cur.swap(dirty_next);
+    std::fill(dirty_next.begin(), dirty_next.end(), 0);
   }
   T1MAP_ASSERT(assignment_is_legal(ntk, sa));
   return sa;

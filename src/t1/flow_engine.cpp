@@ -123,7 +123,8 @@ bool T1DetectPass::run(FlowContext& ctx) const {
                 "the T1 flow needs at least 3 phases (input separation)");
   const DetectResult det = detect_t1(
       ctx.mapped, ctx.params.detect,
-      ctx.scratch != nullptr ? &ctx.scratch->cuts : nullptr);
+      ctx.scratch != nullptr ? &ctx.scratch->cuts : nullptr,
+      ctx.scratch != nullptr ? &ctx.scratch->t1_detect : nullptr);
   ctx.stats.t1_found = det.found;
   ctx.stats.t1_used = det.used;
   if (!det.accepted.empty()) {

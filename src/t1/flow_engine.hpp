@@ -99,9 +99,10 @@ const char* cec_verdict_name(sat::CecResult::Verdict verdict);
 /// touch.  Reset-and-reuse semantics — holding one `FlowScratch` across
 /// thousands of runs stops paying arena growth after the first.
 struct FlowScratch {
-  CutWorkspace cuts;    // MapPass + T1DetectPass enumeration arenas
-  sat::Solver solver;   // SatCecPass clause arena
-  sfq::SimScratch sim;  // SimEquivPass stimulus buffer
+  CutWorkspace cuts;        // MapPass + T1DetectPass enumeration arenas
+  DetectScratch t1_detect;  // T1DetectPass grouping/MFFC flat storage
+  sat::Solver solver;       // SatCecPass clause arena
+  sfq::SimScratch sim;      // SimEquivPass stimulus buffer
 };
 
 /// The shared state a pipeline evolves.  Passes read what upstream passes

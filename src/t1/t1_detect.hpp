@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/csr.hpp"
 #include "cut/cut_enum.hpp"
 #include "sfq/netlist.hpp"
 
@@ -75,11 +76,60 @@ struct DetectResult {
   int used = 0;
 };
 
+/// Reusable flat storage for `detect_t1` (the `CutWorkspace` pattern): the
+/// CSR consumer lists, the hash-indexed candidate-group table, the match
+/// arena and the epoch-stamped mark arrays all keep their heap capacity
+/// across calls, so a scratch held in a `FlowScratch` stops allocating
+/// after the first netlist of a batch.  Contents are reset per call; reuse
+/// never changes the result.
+struct DetectScratch {
+  /// One grouped match record; `next` chains a group's matches in
+  /// discovery order through `match_pool`.
+  struct MatchRec {
+    std::uint32_t node;
+    T1Output output;
+    std::uint32_t next;  // kNone terminates
+  };
+  /// One candidate group: a (leaf triple, input polarity) key plus its
+  /// match chain.
+  struct Group {
+    std::array<std::uint32_t, 3> leaves;
+    std::uint8_t polarity = 0;
+    std::uint32_t head = kNone;
+    std::uint32_t tail = kNone;
+  };
+  static constexpr std::uint32_t kNone = 0xFFFFFFFFu;
+
+  // Consumer lists + PO flags (the CSR substrate shared with retime).
+  Csr<std::uint32_t> fanouts;
+  std::vector<std::uint8_t> drives_po;
+
+  // Hash-indexed group table: open addressing, power-of-two capacity,
+  // entries are group index + 1 (0 = empty slot).
+  std::vector<std::uint32_t> table;
+  std::vector<Group> groups;
+  std::vector<MatchRec> match_pool;
+  std::vector<std::uint32_t> group_order;  // (leaves, polarity)-sorted ids
+
+  // Epoch-stamped node marks (no per-candidate clearing) and the MFFC
+  // frontier heap.
+  std::vector<std::uint32_t> in_set;
+  std::vector<std::uint32_t> queued;
+  std::uint32_t epoch = 0;
+  std::vector<std::uint32_t> frontier;
+  std::vector<std::uint32_t> members;
+
+  // Conflict-resolution flags, one byte per node (kClaim* bits).
+  std::vector<std::uint8_t> claim;
+};
+
 /// Runs detection on a mapped (T1-free) netlist.  `workspace`, when given,
-/// supplies the cut-enumeration arena (reset per call; reuse across runs
-/// avoids arena growth without changing the result).
+/// supplies the cut-enumeration arena, and `scratch` the grouping/MFFC
+/// storage (both reset per call; reuse across runs avoids arena growth
+/// without changing the result).
 DetectResult detect_t1(const sfq::Netlist& ntk,
                        const DetectParams& params = {},
-                       CutWorkspace* workspace = nullptr);
+                       CutWorkspace* workspace = nullptr,
+                       DetectScratch* scratch = nullptr);
 
 }  // namespace t1map::t1

@@ -71,17 +71,17 @@ TEST(Cli, TextReportMentionsAllConfigs) {
 
 TEST(Cli, BenchModeEmitsStageTimings) {
   std::string out;
-  // One small circuit, one run, JSON to stdout; CEC on so every stage of
+  // One small circuit, two runs, JSON to stdout; CEC on so every stage of
   // the Table-I pipeline appears.
   const int status = run_command(
-      kCli + " --bench --gen adder8 --bench-runs 1 --bench-out - 2>/dev/null",
+      kCli + " --bench --gen adder8 --bench-runs 2 --bench-out - 2>/dev/null",
       out);
   ASSERT_EQ(status, 0) << out;
 
   const io::Json bench = io::Json::parse(out);
   EXPECT_EQ(bench.at("bench").as_string(), "flow");
   EXPECT_EQ(bench.at("config").as_string(), "t1");
-  EXPECT_EQ(bench.at("runs").as_number(), 1);
+  EXPECT_EQ(bench.at("runs").as_number(), 2);
   const io::Json& circuit = bench.at("circuits").at("adder8");
   EXPECT_GT(circuit.at("stats").at("jj_total").as_number(), 0);
   const io::Json& stages = circuit.at("stages");
@@ -94,6 +94,41 @@ TEST(Cli, BenchModeEmitsStageTimings) {
   }
   // Stage times must be consistent: the total covers the flow plus CEC.
   EXPECT_GT(stages.at("total").at("mean_ms").as_number(), 0.0);
+}
+
+TEST(Cli, BenchSingleRunOmitsJitterFields) {
+  std::string out;
+  const int status = run_command(
+      kCli + " --bench --gen adder8 --bench-runs 1 --no-cec --bench-out - "
+             "2>/dev/null",
+      out);
+  ASSERT_EQ(status, 0) << out;
+  const io::Json bench = io::Json::parse(out);
+  EXPECT_EQ(bench.at("runs").as_number(), 1);
+  const io::Json& total =
+      bench.at("circuits").at("adder8").at("stages").at("total");
+  // One sample has no spread: min_ms is the measurement, the mean/max
+  // jitter fields would be degenerate duplicates and must be absent.
+  EXPECT_GE(total.at("min_ms").as_number(), 0.0);
+  EXPECT_FALSE(total.contains("mean_ms"));
+  EXPECT_FALSE(total.contains("max_ms"));
+}
+
+TEST(Cli, RejectsInvalidThreadAndBenchCounts) {
+  std::string out;
+  // Zero/negative worker or repetition counts would hang the pool or emit
+  // empty statistics; the parser must reject them with flag+value+cause.
+  for (const char* bad :
+       {" --gen adder8 --threads 0", " --gen adder8 --threads -2",
+        " --bench --bench-runs 0", " --bench --bench-runs -1"}) {
+    EXPECT_NE(run_command(kCli + bad + " 2>/dev/null", out), 0) << bad;
+  }
+  // Bench-harness flags outside bench mode are silent no-ops otherwise;
+  // reject them too.
+  EXPECT_NE(
+      run_command(kCli + " --gen adder8 --bench-runs 5 2>/dev/null", out), 0);
+  EXPECT_NE(run_command(kCli + " --bench --bench-set nope 2>/dev/null", out),
+            0);
 }
 
 TEST(Cli, BadUsageFailsWithDiagnostic) {

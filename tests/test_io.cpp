@@ -160,6 +160,71 @@ TEST(Blif, ReaderHandlesCrlfAndDeepChains) {
   EXPECT_EQ(cec.verdict, sat::CecResult::Verdict::kEquivalent);
 }
 
+TEST(Blif, ReaderHandlesMissingFinalNewline) {
+  // The last line of a file often lacks '\n' (truncated editors, pipes).
+  // Both a final `.end` and a final cover row must parse.
+  const Aig with_end = io::read_blif_string(
+      ".model m\n.inputs a b\n.outputs z\n.names a b z\n11 1\n.end");
+  EXPECT_EQ(with_end.num_pis(), 2u);
+  EXPECT_EQ(with_end.num_ands(), 1u);
+
+  const Aig no_end = io::read_blif_string(
+      ".model m\n.inputs a b\n.outputs z\n.names a b z\n11 1");
+  const sat::CecResult cec = sat::check_equivalence(with_end, no_end);
+  EXPECT_EQ(cec.verdict, sat::CecResult::Verdict::kEquivalent);
+}
+
+TEST(Blif, ContinuationKeepsTokenBoundaries) {
+  // A '\' directly after the last token used to glue it to the next
+  // line's first token ("b" + "cin" -> "bcin"), silently dropping an
+  // input.  The continuation must behave as whitespace.
+  const std::string text =
+      ".model fa\n"
+      ".inputs a b\\\n"
+      "cin\n"
+      ".outputs sum\n"
+      ".names a b\\\n"
+      "cin sum\n"
+      "100 1\n010 1\n001 1\n111 1\n"
+      ".end\n";
+  const Aig parsed = io::read_blif_string(text);
+  ASSERT_EQ(parsed.num_pis(), 3u);
+
+  Aig want;
+  const Lit a = want.create_pi("a");
+  const Lit b = want.create_pi("b");
+  const Lit cin = want.create_pi("cin");
+  want.create_po(want.create_xor3(a, b, cin), "sum");
+  const sat::CecResult cec = sat::check_equivalence(parsed, want);
+  EXPECT_EQ(cec.verdict, sat::CecResult::Verdict::kEquivalent);
+}
+
+TEST(Blif, ContinuationInsideCoverRows) {
+  // Continuations *inside* a .names cover list, including one whose
+  // backslash carries trailing blanks (and a CRLF) — previously the '\'
+  // survived as a bogus cover token and the row was rejected or dropped.
+  const std::string text =
+      ".model m\n"
+      ".inputs a b c\n"
+      ".outputs z\n"
+      ".names a b c z\n"
+      "11- \\  \n"
+      "1\n"
+      "-11 \\\r\n"
+      "1\n"
+      ".end\n";
+  const Aig parsed = io::read_blif_string(text);
+
+  Aig want;
+  const Lit a = want.create_pi("a");
+  const Lit b = want.create_pi("b");
+  const Lit c = want.create_pi("c");
+  want.create_po(want.create_or(want.create_and(a, b), want.create_and(b, c)),
+                 "z");
+  const sat::CecResult cec = sat::check_equivalence(parsed, want);
+  EXPECT_EQ(cec.verdict, sat::CecResult::Verdict::kEquivalent);
+}
+
 TEST(Blif, ReaderRejectsMalformedInput) {
   EXPECT_THROW(io::read_blif_string(".model m\n.inputs a\n.outputs z\n.end\n"),
                ContractError);  // z undriven

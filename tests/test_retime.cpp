@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "retime/dff_insert.hpp"
 #include "retime/stage_assign.hpp"
 #include "retime/timing_check.hpp"
@@ -147,6 +149,53 @@ TEST(T1Constraints, NetlistWithT1RequiresThreePhases) {
   const StageAssignment sa = assign_stages(n, StageParams{4, false});
   EXPECT_TRUE(assignment_is_legal(n, sa));
   EXPECT_GE(sa.sigma[t1], 3);  // eq. (3) with PIs at 0
+}
+
+TEST(StageSentinels, UnplacedDriverContributesNoChainDffs) {
+  // kNoStage (INT_MIN) leaking into `max_sv - su` used to be signed
+  // overflow; the guard must treat an unplaced driver as chainless.  This
+  // test is part of the UBSan CI leg — the old arithmetic trips it.
+  constexpr int kNoStage = std::numeric_limits<int>::min();
+  Netlist n;
+  const auto a = n.add_pi();
+  const auto x = n.add_cell(CellKind::kNot, {a});
+  const auto y = n.add_cell(CellKind::kNot, {x});
+  n.add_po(y);
+
+  StageAssignment sa;
+  sa.num_phases = 2;
+  sa.sigma = {0, kNoStage, 5};  // x unplaced, y far away
+  sa.sigma_po = 6;
+  const DffCount count = count_dffs(n, sa);
+  // x's chain (unplaced driver) contributes nothing; a's chain skips the
+  // unplaced consumer x and costs nothing either.
+  EXPECT_EQ(count.regular, 0);
+  EXPECT_EQ(count.t1, 0);
+
+  // Unplaced consumers must not stretch a placed driver's chain.
+  sa.sigma = {0, 1, kNoStage};
+  sa.sigma_po = 2;
+  EXPECT_EQ(count_dffs(n, sa).regular, 0);
+}
+
+TEST(StageSentinels, T1MinStageMapsSentinelsAndRejectsOverflow) {
+  constexpr int kNoStage = std::numeric_limits<int>::min();
+  // Sentinels participate as stage 0 (constants still occupy a slot).
+  EXPECT_EQ(t1_min_stage({kNoStage, kNoStage, kNoStage}), 3);
+  EXPECT_EQ(t1_min_stage({kNoStage, 5, kNoStage}), 6);  // sorted 0,0,5
+  // Near-sentinel garbage (not exactly kNoStage) must fail loudly instead
+  // of overflowing the +3/+2/+1 offsets.
+  EXPECT_THROW(t1_min_stage({kNoStage + 1, 0, 0}), ContractError);
+  EXPECT_THROW(t1_min_stage({0, 0, std::numeric_limits<int>::max()}),
+               ContractError);
+}
+
+TEST(StageSentinels, ReleaseSolverRejectsOutOfRangeStages) {
+  constexpr int kNoStage = std::numeric_limits<int>::min();
+  // The release window is sigma_t1 - n: sentinel-laden inputs would
+  // underflow it.  Callers map kNoStage to 0 first; raw sentinels throw.
+  EXPECT_THROW(solve_t1_releases({0, 0, 0}, kNoStage, 4), ContractError);
+  EXPECT_THROW(solve_t1_releases({kNoStage, 0, 0}, 5, 4), ContractError);
 }
 
 TEST(Materialize, DffCountMatchesClosedForm) {
