@@ -1,0 +1,9 @@
+/// \file serve.hpp
+/// \brief Public surface: the cached batch-serving layer — canonical AIG
+/// hashing, the sharded LRU flow cache, and the JSONL server loop.
+
+#pragma once
+
+#include "serve/aig_hash.hpp"
+#include "serve/flow_cache.hpp"
+#include "serve/server.hpp"

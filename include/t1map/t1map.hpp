@@ -14,3 +14,4 @@
 #include <t1map/generators.hpp>
 #include <t1map/io.hpp>
 #include <t1map/netlist.hpp>
+#include <t1map/serve.hpp>

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Serve-mode smoke: pipe a JSONL script of mixed generator/BLIF jobs
+(with repeats) through `t1map --serve` and assert response ordering, cache
+hit/miss counters, and repeat-determinism of the statistics.
+
+Usage:
+  serve_smoke.py PATH/TO/t1map [extra t1map flags...]
+"""
+import json
+import subprocess
+import sys
+
+
+BLIF = (".model smoke\n.inputs a b c\n.outputs f\n"
+        ".names a b t\n11 1\n.names t c f\n10 1\n.end\n")
+
+JOBS = [
+    {"id": 1, "gen": "adder16"},
+    {"id": 2, "gen": "mul8", "config": "nphi", "cec": False},
+    {"id": 3, "gen": "adder16"},                   # repeat of 1 -> hit
+    {"id": 4, "blif": BLIF, "verify_rounds": 0},
+    {"id": 5, "gen": "adder16"},                   # repeat of 1 -> hit
+    {"id": 6, "blif": BLIF, "verify_rounds": 0},   # repeat of 4 -> hit
+    {"id": 7, "gen": "voter25", "cec": False},
+    {"id": 8, "cmd": "stats"},
+]
+
+
+def main() -> int:
+    t1map = sys.argv[1]
+    extra = sys.argv[2:]
+    script = "".join(json.dumps(j) + "\n" for j in JOBS)
+    proc = subprocess.run([t1map, "--serve"] + extra, input=script,
+                          capture_output=True, text=True, check=True)
+    lines = [json.loads(l) for l in proc.stdout.splitlines() if l.strip()]
+
+    assert len(lines) == len(JOBS), f"{len(lines)} responses"
+    got_ids = [l["id"] for l in lines]
+    want_ids = [j["id"] for j in JOBS]
+    assert got_ids == want_ids, f"response order: {got_ids}"
+    assert all(l["ok"] for l in lines), "every response must be ok"
+
+    flows = lines[:-1]
+    cached = [l["cached"] for l in flows]
+    assert cached == [False, False, True, False, True, True, False], cached
+    for repeat, of in [(2, 0), (4, 0), (5, 3)]:
+        assert flows[repeat]["stats"] == flows[of]["stats"], \
+            f"repeat {repeat} stats drifted from {of}"
+    assert flows[0]["cec"] == "equivalent", flows[0]
+    assert flows[1]["cec"] == "skipped", flows[1]
+
+    stats = lines[-1]["serve"]
+    cache = stats["cache"]
+    # 4 unique (circuit, config) keys; 3 repeats served from the cache.
+    assert cache["insertions"] == 4, cache
+    assert cache["hits"] == 3, cache
+    assert cache["entries"] == 4, cache
+    assert stats["errors"] == 0, stats
+    print("serve smoke ok:", json.dumps(stats))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,6 +13,7 @@
 #include "cut/cut_enum.hpp"
 #include "gen/registry.hpp"
 #include "io/json.hpp"
+#include "serve/json_out.hpp"
 #include "t1/flow_engine.hpp"
 
 namespace t1map::cli {
@@ -172,18 +173,8 @@ int run_bench(const Options& opts) {
     }
 
     io::Json entry = io::Json::object();
-    io::Json input = io::Json::object();
-    input.set("pis", aig.num_pis());
-    input.set("pos", aig.num_pos());
-    input.set("ands", aig.num_ands());
-    entry.set("input", std::move(input));
-    io::Json stats_json = io::Json::object();
-    stats_json.set("jj_total", stats.area_jj);
-    stats_json.set("dffs", stats.dffs);
-    stats_json.set("depth_cycles", stats.depth_cycles);
-    stats_json.set("t1_found", stats.t1_found);
-    stats_json.set("t1_used", stats.t1_used);
-    entry.set("stats", std::move(stats_json));
+    entry.set("input", serve::aig_input_json(aig, /*with_depth=*/false));
+    entry.set("stats", serve::flow_stats_json(stats));
     entry.set("stages", bench_json(bench, with_cec));
     circuits_json.set(name, std::move(entry));
 

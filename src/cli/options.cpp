@@ -56,8 +56,10 @@ void validate_passes(const std::string& spec) {
 Options parse_options(int argc, const char* const* argv) {
   Options opts;
   std::vector<std::string> args(argv + 1, argv + argc);
-  // First bench-harness flag seen, for the "needs --bench" diagnostic.
+  // First bench-harness / serve-mode flag seen, for the "needs --bench" /
+  // "needs --serve" diagnostics.
   std::string bench_only_flag;
+  std::string serve_only_flag;
 
   const auto value_of = [&](std::size_t& i) -> std::string {
     if (i + 1 >= args.size()) {
@@ -108,6 +110,17 @@ Options parse_options(int argc, const char* const* argv) {
     } else if (arg == "--bench-out") {
       bench_only_flag = arg;
       opts.bench_out = value_of(i);
+    } else if (arg == "--serve") {
+      opts.serve = true;
+    } else if (arg == "--cache-mb") {
+      serve_only_flag = arg;
+      opts.cache_mb = parse_int(arg, value_of(i), 1, 1 << 16);
+    } else if (arg == "--serve-in") {
+      serve_only_flag = arg;
+      opts.serve_in = value_of(i);
+    } else if (arg == "--serve-batch") {
+      serve_only_flag = arg;
+      opts.serve_batch = parse_int(arg, value_of(i), 1, 4096);
     } else if (arg == "--json") {
       opts.json = true;
     } else if (arg == "--out-blif") {
@@ -130,9 +143,44 @@ Options parse_options(int argc, const char* const* argv) {
     throw UsageError(bench_only_flag +
                      " configures the bench harness and needs --bench");
   }
+  if (!opts.serve && !serve_only_flag.empty()) {
+    throw UsageError(serve_only_flag +
+                     " configures the serving loop and needs --serve");
+  }
   if (opts.skip_checks && !opts.passes.empty()) {
     throw UsageError("--skip-checks and --passes both select the pipeline; "
                      "use one of them");
+  }
+  if (opts.serve) {
+    if (opts.bench) {
+      throw UsageError("--serve and --bench are different run modes; "
+                       "pick one");
+    }
+    // Serve mode takes its work from the request stream; per-job fields
+    // override the CLI defaults (--phases, --verify-rounds, --no-cec).
+    if (!opts.gen_name.empty() || !opts.blif_path.empty()) {
+      throw UsageError("--serve reads its circuits from the JSONL request "
+                       "stream; --gen/--blif do not apply");
+    }
+    if (!opts.passes.empty()) {
+      throw UsageError("--serve selects pipelines per request config; "
+                       "--passes does not apply (use --skip-checks to drop "
+                       "the verification stages)");
+    }
+    if (opts.config != "all") {
+      throw UsageError("--serve jobs carry their own \"config\" field; "
+                       "--config " + opts.config + " has no effect there");
+    }
+    if (opts.json || opts.paper || !opts.out_blif.empty() ||
+        !opts.out_dot.empty()) {
+      throw UsageError("--json/--paper/--out-blif/--out-dot do not apply to "
+                       "--serve (responses are always JSONL on stdout)");
+    }
+    if (opts.phases < 3) {
+      throw UsageError("--serve defaults jobs to the t1 configuration and "
+                       "needs --phases >= 3");
+    }
+    return opts;
   }
   if (opts.bench) {
     if (!opts.passes.empty()) {
@@ -190,6 +238,7 @@ std::string usage() {
       "Usage:\n"
       "  t1map --gen NAME  [options]     map a generated benchmark\n"
       "  t1map --blif FILE [options]     map a BLIF file ('-' = stdin)\n"
+      "  t1map --serve     [options]     cached JSONL serving loop\n"
       "\n"
       "Options:\n"
       "  --config all|1phi|nphi|t1   configurations to run (default: all)\n"
@@ -216,6 +265,17 @@ std::string usage() {
       "                              long-chain adder256/cordic32/log2_16)\n"
       "  --bench-out FILE            bench output path ('-' = stdout;\n"
       "                              default BENCH_flow.json)\n"
+      "  --serve                     serve JSONL mapping requests (one JSON\n"
+      "                              object per line; responses on stdout in\n"
+      "                              request order; see README \"Serving\n"
+      "                              mode\").  Misses run on --threads\n"
+      "                              workers; results are memoized\n"
+      "  --cache-mb N                serve-mode result-cache byte budget in\n"
+      "                              MiB (default 256)\n"
+      "  --serve-in FILE             read requests from FILE instead of\n"
+      "                              stdin ('-'; named FIFOs work)\n"
+      "  --serve-batch N             max requests per dispatch batch\n"
+      "                              (default 16)\n"
       "  --out-blif FILE             write the mapped netlist as BLIF\n"
       "  --out-dot FILE              write a stage-annotated DOT graph\n"
       "  --paper                     also print the published Table-I row\n"
@@ -223,6 +283,7 @@ std::string usage() {
       "  --help                      this text\n"
       "\n"
       "Examples:\n"
+      "  t1map --serve --threads 4 --cache-mb 512\n"
       "  t1map --bench --bench-runs 5 --threads 4\n"
       "  t1map --gen adder16 --config all\n"
       "  t1map --gen mul8 --passes map,t1,stage,dff --json\n"

@@ -36,6 +36,12 @@ struct Options {
   std::string bench_set;        // --bench-set small|table1 (empty = small)
   std::string bench_out = "BENCH_flow.json";  // --bench-out FILE ("-"=stdout)
 
+  // Serving mode (cached JSONL request loop; see README "Serving mode").
+  bool serve = false;           // --serve (JSONL request/response loop)
+  int cache_mb = 256;           // --cache-mb N (FlowCache byte budget)
+  std::string serve_in = "-";   // --serve-in FILE ("-" = stdin; FIFOs work)
+  int serve_batch = 16;         // --serve-batch N (max requests per dispatch)
+
   // Output.
   bool json = false;      // --json (machine-readable report on stdout)
   std::string out_blif;   // --out-blif FILE (mapped netlist, last config)

@@ -8,6 +8,7 @@
 
 #include "common/require.hpp"
 #include "gen/registry.hpp"
+#include "serve/json_out.hpp"
 
 namespace t1map::cli {
 
@@ -116,28 +117,22 @@ io::Json report_json(const Report& report) {
   root.set("design", report.design);
   root.set("source", report.source);
 
-  io::Json input = io::Json::object();
-  input.set("pis", report.num_pis);
-  input.set("pos", report.num_pos);
-  input.set("ands", report.num_ands);
-  input.set("depth", report.depth);
-  root.set("input", std::move(input));
+  root.set("input", serve::input_json(report.num_pis, report.num_pos,
+                                      report.num_ands, report.depth));
   root.set("phases", report.phases);
 
   io::Json configs = io::Json::object();
   for (const ConfigResult& c : report.configs) {
-    const t1::FlowStats& s = c.flow.stats;
     io::Json j = io::Json::object();
     j.set("phases", c.params.num_phases);
     j.set("use_t1", c.params.use_t1);
-    j.set("jj_total", s.area_jj);
-    j.set("dffs", s.dffs);
-    j.set("depth_cycles", s.depth_cycles);
-    j.set("num_stages", s.num_stages);
-    j.set("logic_cells", s.logic_cells);
-    j.set("splitters", s.splitters);
-    j.set("t1_found", s.t1_found);
-    j.set("t1_used", s.t1_used);
+    // The Table-I block comes from the shared emitter (one field-name
+    // authority across report/bench/serve), flattened into the config
+    // object to keep the long-standing report schema.
+    const io::Json stats = serve::flow_stats_json(c.flow.stats);
+    for (const auto& [key, value] : stats.members()) {
+      j.set(key, value);
+    }
     j.set("cec", c.cec);
     j.set("seconds", c.seconds);
     configs.set(c.key, std::move(j));

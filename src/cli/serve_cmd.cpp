@@ -1,0 +1,48 @@
+#include "cli/serve_cmd.hpp"
+
+#include <fstream>
+#include <iostream>
+
+#include "common/require.hpp"
+#include "serve/server.hpp"
+
+namespace t1map::cli {
+
+int run_serve(const Options& opts) {
+  serve::ServeConfig config;
+  config.threads = opts.threads;
+  config.batch_size = opts.serve_batch;
+  config.default_phases = opts.phases;
+  config.default_verify_rounds = opts.verify_rounds;
+  config.default_cec = opts.run_cec;
+  config.skip_checks = opts.skip_checks;
+  config.cache.max_bytes = static_cast<std::size_t>(opts.cache_mb) << 20;
+
+  serve::Server server(config);
+  std::cerr << "t1map: serving (threads " << config.threads << ", batch "
+            << config.batch_size << ", cache " << opts.cache_mb << " MiB) — "
+            << (opts.serve_in == "-" ? std::string("stdin")
+                                     : opts.serve_in)
+            << std::endl;
+
+  if (opts.serve_in == "-") {
+    // Unsynced cin actually buffers, which is what the batch filler's
+    // in_avail() probe needs to see queued request lines; the stdio-synced
+    // default reads character-at-a-time and would degrade every batch to
+    // a single request.
+    std::ios::sync_with_stdio(false);
+    server.serve(std::cin, std::cout);
+  } else {
+    // Regular files and named FIFOs alike: an ifstream on a FIFO blocks
+    // until a writer connects, which is exactly the socket-like behaviour
+    // a local job queue wants.
+    std::ifstream ifs(opts.serve_in);
+    T1MAP_REQUIRE(ifs.good(), "cannot open request stream: " + opts.serve_in);
+    server.serve(ifs, std::cout);
+  }
+
+  std::cerr << "t1map: serve done: " << server.summary() << std::endl;
+  return 0;
+}
+
+}  // namespace t1map::cli

@@ -14,6 +14,7 @@
 #include "cli/bench.hpp"
 #include "cli/options.hpp"
 #include "cli/report.hpp"
+#include "cli/serve_cmd.hpp"
 #include "common/require.hpp"
 #include "gen/registry.hpp"
 #include "io/blif.hpp"
@@ -73,6 +74,7 @@ int run(const Options& opts) {
     return 0;
   }
   if (opts.bench) return run_bench(opts);
+  if (opts.serve) return run_serve(opts);
 
   Report report;
   report.phases = opts.phases;

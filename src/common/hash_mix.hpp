@@ -1,0 +1,22 @@
+/// \file hash_mix.hpp
+/// \brief The shared 64-bit mixing primitive behind every persistent cache
+/// fingerprint (AIG digests, FlowParams fingerprints, cache keys).
+///
+/// splitmix64's finalizer: platform-stable pure integer arithmetic.  The
+/// constants are part of the persisted key format — change them and every
+/// externally stored digest/fingerprint silently invalidates, so: never.
+
+#pragma once
+
+#include <cstdint>
+
+namespace t1map {
+
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace t1map

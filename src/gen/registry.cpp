@@ -43,7 +43,8 @@ bool split_sized_name(const std::string& name, std::string& family,
                       int& size) {
   std::size_t digits = 0;
   while (digits < name.size() &&
-         std::isdigit(static_cast<unsigned char>(name[name.size() - 1 - digits]))) {
+         std::isdigit(static_cast<unsigned char>(
+             name[name.size() - 1 - digits]))) {
     ++digits;
   }
   // 7 digits is already far beyond any buildable width; longer suffixes
@@ -81,8 +82,19 @@ Aig make_named(const std::string& name) {
                           std::clamp(size * 5 / 16, 1, 24));
     }
   }
-  T1MAP_REQUIRE(false, "unknown generator: " + name +
-                           " (try `t1map --list-gens`)");
+  // Name every accepted family in the failure: callers of make_named are
+  // often remote (serve-mode jobs, scripts), where "try --list-gens" is
+  // not actionable advice.
+  std::string known = "adder<N> mul<N> square<N> voter<N> comparator<N> "
+                      "sin<N>/cordic<N> log2_<N>";
+  std::string table1;
+  for (const std::string& t : table1_names()) {
+    if (!table1.empty()) table1 += ' ';
+    table1 += t;
+  }
+  T1MAP_REQUIRE(false, "unknown generator '" + name +
+                           "' (parametric families: " + known +
+                           "; Table-I names: " + table1 + ")");
   return Aig{};
 }
 
@@ -102,7 +114,8 @@ std::string describe_generators() {
 }
 
 const std::vector<PaperRow>& paper_table1() {
-  // Table I of the paper, verbatim.
+  // Table I of the paper, verbatim (kept as one row per line).
+  // clang-format off
   static const std::vector<PaperRow> rows = {
       {"adder", 127, 127, 32768, 7963, 5958, 238419, 64784, 48844, 128, 32, 33},
       {"c7552", 17, 9, 2489, 713, 765, 32038, 19606, 19907, 16, 4, 5},
@@ -113,6 +126,7 @@ const std::vector<PaperRow>& paper_table1() {
       {"multiplier", 824, 769, 58717, 14641, 13745, 682792, 374260, 356984, 136, 33, 36},
       {"log2", 644, 593, 86985, 33790, 33946, 978178, 605813, 598292, 160, 40, 47},
   };
+  // clang-format on
   return rows;
 }
 

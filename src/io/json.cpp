@@ -90,9 +90,7 @@ const std::vector<std::pair<std::string, Json>>& Json::members() const {
 
 // --- Writer ------------------------------------------------------------------
 
-namespace {
-
-void write_escaped(std::ostream& os, const std::string& s) {
+void write_json_string(std::ostream& os, std::string_view s) {
   os << '"';
   for (const char c : s) {
     switch (c) {
@@ -101,10 +99,13 @@ void write_escaped(std::ostream& os, const std::string& s) {
       case '\n': os << "\\n"; break;
       case '\t': os << "\\t"; break;
       case '\r': os << "\\r"; break;
+      case '\b': os << "\\b"; break;
+      case '\f': os << "\\f"; break;
       default:
         if (static_cast<unsigned char>(c) < 0x20) {
           char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
           os << buf;
         } else {
           os << c;
@@ -114,7 +115,7 @@ void write_escaped(std::ostream& os, const std::string& s) {
   os << '"';
 }
 
-void write_number(std::ostream& os, double n) {
+void write_json_number(std::ostream& os, double n) {
   // Integers (the common case for flow statistics) print without a
   // fractional part; everything else uses %.17g.
   char buf[32];
@@ -125,6 +126,8 @@ void write_number(std::ostream& os, double n) {
   }
   os << buf;
 }
+
+namespace {
 
 void write_indent(std::ostream& os, int indent, int depth) {
   if (indent < 0) return;
@@ -138,8 +141,8 @@ void Json::write_impl(std::ostream& os, int indent, int depth) const {
   switch (kind_) {
     case Kind::kNull: os << "null"; break;
     case Kind::kBool: os << (bool_ ? "true" : "false"); break;
-    case Kind::kNumber: write_number(os, num_); break;
-    case Kind::kString: write_escaped(os, str_); break;
+    case Kind::kNumber: write_json_number(os, num_); break;
+    case Kind::kString: write_json_string(os, str_); break;
     case Kind::kArray: {
       if (arr_.empty()) {
         os << "[]";
@@ -166,7 +169,7 @@ void Json::write_impl(std::ostream& os, int indent, int depth) const {
         if (!first) os << ',';
         first = false;
         write_indent(os, indent, depth + 1);
-        write_escaped(os, k);
+        write_json_string(os, k);
         os << (indent < 0 ? ":" : ": ");
         v.write_impl(os, indent, depth + 1);
       }
@@ -187,6 +190,109 @@ std::string Json::dump(int indent) const {
   return oss.str();
 }
 
+// --- Streaming writer --------------------------------------------------------
+
+void JsonWriter::before_value() {
+  T1MAP_REQUIRE(!done_, "JsonWriter: document already complete");
+  if (stack_.empty()) return;
+  Frame& top = stack_.back();
+  if (top.is_object) {
+    T1MAP_REQUIRE(top.awaiting_value,
+                  "JsonWriter: object member needs key() before its value");
+  } else if (top.needs_comma) {
+    os_ << ',';
+  }
+}
+
+void JsonWriter::after_value() {
+  if (stack_.empty()) {
+    done_ = true;
+    return;
+  }
+  Frame& top = stack_.back();
+  top.needs_comma = true;
+  top.awaiting_value = false;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  os_ << '{';
+  stack_.push_back(Frame{/*is_object=*/true});
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  os_ << '[';
+  stack_.push_back(Frame{/*is_object=*/false});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  T1MAP_REQUIRE(!stack_.empty() && stack_.back().is_object &&
+                    !stack_.back().awaiting_value,
+                "JsonWriter: end_object without a matching open object");
+  os_ << '}';
+  stack_.pop_back();
+  after_value();
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  T1MAP_REQUIRE(!stack_.empty() && !stack_.back().is_object,
+                "JsonWriter: end_array without a matching open array");
+  os_ << ']';
+  stack_.pop_back();
+  after_value();
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  T1MAP_REQUIRE(!stack_.empty() && stack_.back().is_object &&
+                    !stack_.back().awaiting_value,
+                "JsonWriter: key() is only valid directly inside an object");
+  if (stack_.back().needs_comma) os_ << ',';
+  write_json_string(os_, name);
+  os_ << ':';
+  stack_.back().awaiting_value = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value_null() {
+  before_value();
+  os_ << "null";
+  after_value();
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool b) {
+  before_value();
+  os_ << (b ? "true" : "false");
+  after_value();
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double n) {
+  before_value();
+  write_json_number(os_, n);
+  after_value();
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view s) {
+  before_value();
+  write_json_string(os_, s);
+  after_value();
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const Json& dom) {
+  before_value();
+  dom.write(os_, /*indent=*/-1);
+  after_value();
+  return *this;
+}
+
 // --- Parser ------------------------------------------------------------------
 
 namespace {
@@ -194,6 +300,11 @@ namespace {
 class Parser {
  public:
   explicit Parser(std::string_view text) : text_(text) {}
+
+  /// Recursion guard: malformed-or-hostile inputs (serve mode parses
+  /// untrusted request lines) must fail as ContractError, not blow the
+  /// stack.  64 levels is far beyond any document this codebase emits.
+  static constexpr int kMaxDepth = 64;
 
   Json parse_document() {
     Json value = parse_value();
@@ -249,6 +360,9 @@ class Parser {
   }
 
   Json parse_value() {
+    if (depth_ > kMaxDepth) {
+      fail("nesting deeper than " + std::to_string(kMaxDepth) + " levels");
+    }
     skip_ws();
     const char c = peek();
     if (c == '{') return parse_object();
@@ -261,7 +375,14 @@ class Parser {
     fail("unexpected character");
   }
 
+  struct DepthGuard {
+    explicit DepthGuard(int& depth) : depth(depth) { ++depth; }
+    ~DepthGuard() { --depth; }
+    int& depth;
+  };
+
   Json parse_object() {
+    const DepthGuard guard(depth_);
     expect('{');
     Json obj = Json::object();
     skip_ws();
@@ -281,6 +402,7 @@ class Parser {
   }
 
   Json parse_array() {
+    const DepthGuard guard(depth_);
     expect('[');
     Json arr = Json::array();
     skip_ws();
@@ -379,6 +501,7 @@ class Parser {
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

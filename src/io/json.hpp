@@ -1,10 +1,19 @@
 /// \file json.hpp
-/// \brief Minimal JSON value, writer and parser (no external dependencies).
+/// \brief Minimal JSON value, streaming writer and parser (no external
+/// dependencies).
 ///
-/// Backs the `t1map --json` machine-readable report and lets tests parse
-/// that report back.  Supports the full JSON data model except that all
-/// numbers are held as `double` (ample for the integer statistics the flow
-/// reports).  Object key order is preserved on round-trip.
+/// Backs the `t1map --json` machine-readable report, the `--serve` JSONL
+/// protocol, and lets tests parse those back.  Supports the full JSON data
+/// model except that all numbers are held as `double` (ample for the
+/// integer statistics the flow reports).  Object key order is preserved on
+/// round-trip.
+///
+/// Two emission styles share one escaping/number-formatting core
+/// (`write_json_string` / `write_json_number`):
+///   * `Json` — a DOM value, built member by member and dumped at the end;
+///   * `JsonWriter` — a streaming writer over an `std::ostream`, for
+///     line-oriented protocols (JSONL) where building a DOM per response
+///     would be pure overhead.
 
 #pragma once
 
@@ -17,6 +26,14 @@
 #include <vector>
 
 namespace t1map::io {
+
+/// Writes `s` as a quoted JSON string with all required escapes — the one
+/// escaping routine every JSON emitter in the repository goes through.
+void write_json_string(std::ostream& os, std::string_view s);
+
+/// Writes a JSON number: integral values (the common case for flow
+/// statistics) print without a fractional part, everything else as %.17g.
+void write_json_number(std::ostream& os, double n);
 
 class Json {
  public:
@@ -86,6 +103,67 @@ class Json {
   std::string str_;
   std::vector<Json> arr_;
   std::vector<std::pair<std::string, Json>> obj_;
+};
+
+// --- Streaming writer --------------------------------------------------------
+
+/// Compact streaming JSON emitter over an `std::ostream`.
+///
+/// Commas and colons are inserted automatically; nesting is validated with
+/// `T1MAP_REQUIRE` (a key outside an object, a value where a key is due,
+/// or an unbalanced `end_*` throw `ContractError`).  Output is always
+/// single-line, which is what the JSONL serve protocol needs — callers
+/// terminate each document with their own `'\n'`.
+///
+///   JsonWriter w(os);
+///   w.begin_object().key("id").value(7).key("stats").begin_object()
+///    .key("jj_total").value(1058).end_object().end_object();
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emits an object member key; the next call must produce its value.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value_null();
+  JsonWriter& value(bool b);
+  JsonWriter& value(double n);
+  JsonWriter& value(int n) { return value(static_cast<double>(n)); }
+  JsonWriter& value(long n) { return value(static_cast<double>(n)); }
+  JsonWriter& value(unsigned n) { return value(static_cast<double>(n)); }
+  JsonWriter& value(unsigned long n) { return value(static_cast<double>(n)); }
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  // Exact match for std::string: otherwise the string_view and Json
+  // overloads (Json converts implicitly from std::string) tie.
+  JsonWriter& value(const std::string& s) {
+    return value(std::string_view(s));
+  }
+  /// Splices a prebuilt DOM value (compact) — lets streaming responses
+  /// embed blocks produced by the shared `Json`-returning helpers.
+  JsonWriter& value(const Json& dom);
+
+  /// True once every opened scope is closed (a complete document).
+  bool complete() const { return done_; }
+
+ private:
+  struct Frame {
+    bool is_object;
+    bool needs_comma = false;
+    bool awaiting_value = false;  // object: key emitted, value pending
+  };
+
+  void before_value();
+  void after_value();
+
+  std::ostream& os_;
+  std::vector<Frame> stack_;
+  bool done_ = false;
 };
 
 }  // namespace t1map::io

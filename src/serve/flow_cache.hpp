@@ -1,0 +1,103 @@
+/// \file flow_cache.hpp
+/// \brief Sharded, thread-safe LRU cache of mapped flow results.
+///
+/// Implements the `t1::RunCache` hook: keys are 128-bit `(AIG digest,
+/// configuration fingerprint)` values (see aig_hash.hpp and
+/// `t1::params_fingerprint`), entries hold the complete `EngineResult` —
+/// mapped netlist, materialized netlist, Table-I statistics, diagnostics
+/// and the CEC verdict — so a hit reproduces a cold `run` bit for bit
+/// (stage times excepted: they are zeroed, a cached result costs no flow
+/// time).
+///
+/// Concurrency: the key space is split across `num_shards` independently
+/// locked shards, so concurrent lookups/stores contend only when they land
+/// on the same shard.  Memory: every entry is charged an estimated byte
+/// size; each shard evicts from its LRU tail once its share of `max_bytes`
+/// overflows.  Hit/miss/insertion/eviction counters are maintained per
+/// shard and aggregated on read.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "t1/flow_engine.hpp"
+
+namespace t1map::serve {
+
+struct CacheConfig {
+  /// Total byte budget across all shards (estimated entry sizes).
+  std::size_t max_bytes = 256ull << 20;
+  /// Shard count; rounded up to a power of two, minimum 1.
+  int num_shards = 8;
+};
+
+/// Aggregated snapshot of the cache state.
+struct CacheCounters {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  std::size_t entries = 0;
+  std::size_t bytes = 0;
+};
+
+/// Estimated resident size of a cached result in bytes (vectors, strings
+/// and both netlists included).  An estimate, not an accounting audit —
+/// the budget exists to bound memory, not to bill it exactly.
+std::size_t estimate_result_bytes(const t1::EngineResult& result);
+
+class FlowCache final : public t1::RunCache {
+ public:
+  explicit FlowCache(CacheConfig config = {});
+
+  // t1::RunCache.
+  bool lookup(const t1::RunKey& key, t1::EngineResult& out) override;
+  void store(const t1::RunKey& key, const t1::EngineResult& result) override;
+
+  CacheCounters counters() const;
+  void clear();
+
+  std::size_t max_bytes() const { return config_.max_bytes; }
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+ private:
+  struct KeyHash {
+    std::size_t operator()(const t1::RunKey& k) const {
+      // The key is already a high-quality hash; fold the halves.
+      return static_cast<std::size_t>(k.hi ^ (k.lo * 0x9E3779B97F4A7C15ull));
+    }
+  };
+
+  struct Entry {
+    t1::RunKey key;
+    t1::EngineResult result;
+    std::size_t bytes = 0;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  // front = most recently used
+    std::unordered_map<t1::RunKey, std::list<Entry>::iterator, KeyHash> index;
+    std::size_t bytes = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  Shard& shard_for(const t1::RunKey& key) {
+    return shards_[static_cast<std::size_t>(key.hi) & shard_mask_];
+  }
+
+  CacheConfig config_;
+  std::size_t shard_mask_;
+  std::size_t shard_budget_;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace t1map::serve

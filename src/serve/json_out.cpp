@@ -1,0 +1,33 @@
+#include "serve/json_out.hpp"
+
+namespace t1map::serve {
+
+io::Json aig_input_json(const Aig& aig, bool with_depth) {
+  return input_json(aig.num_pis(), aig.num_pos(), aig.num_ands(),
+                    with_depth ? aig.depth() : -1);
+}
+
+io::Json input_json(std::uint32_t pis, std::uint32_t pos, std::uint32_t ands,
+                    int depth) {
+  io::Json input = io::Json::object();
+  input.set("pis", pis);
+  input.set("pos", pos);
+  input.set("ands", ands);
+  if (depth >= 0) input.set("depth", depth);
+  return input;
+}
+
+io::Json flow_stats_json(const t1::FlowStats& stats) {
+  io::Json j = io::Json::object();
+  j.set("jj_total", stats.area_jj);
+  j.set("dffs", stats.dffs);
+  j.set("depth_cycles", stats.depth_cycles);
+  j.set("num_stages", stats.num_stages);
+  j.set("logic_cells", stats.logic_cells);
+  j.set("splitters", stats.splitters);
+  j.set("t1_found", stats.t1_found);
+  j.set("t1_used", stats.t1_used);
+  return j;
+}
+
+}  // namespace t1map::serve

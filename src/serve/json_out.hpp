@@ -1,0 +1,32 @@
+/// \file json_out.hpp
+/// \brief Shared JSON building blocks for every machine-readable surface.
+///
+/// The CLI report (`--json`), the bench trajectory (`--bench`) and the
+/// serve protocol (`--serve`) all emit the same two blocks — a source-AIG
+/// description and a Table-I statistics object.  These helpers are the one
+/// definition of those blocks, so field names cannot drift between the
+/// three surfaces (and string escaping is wherever `io::Json` does it,
+/// in exactly one place).
+
+#pragma once
+
+#include "aig/aig.hpp"
+#include "io/json.hpp"
+#include "t1/flow.hpp"
+
+namespace t1map::serve {
+
+/// `{pis, pos, ands[, depth]}` — the source-circuit block.  Computing the
+/// depth walks the AIG; callers on a hot path skip it.
+io::Json aig_input_json(const Aig& aig, bool with_depth);
+
+/// Same block from precomputed sizes (`depth < 0` omits the field) — for
+/// callers that summarized the AIG earlier and no longer hold it.
+io::Json input_json(std::uint32_t pis, std::uint32_t pos, std::uint32_t ands,
+                    int depth);
+
+/// The Table-I statistics block: jj_total, dffs, depth_cycles, num_stages,
+/// logic_cells, splitters, t1_found, t1_used.
+io::Json flow_stats_json(const t1::FlowStats& stats);
+
+}  // namespace t1map::serve

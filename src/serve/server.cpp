@@ -1,0 +1,297 @@
+#include "serve/server.hpp"
+
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "common/require.hpp"
+#include "gen/registry.hpp"
+#include "io/blif.hpp"
+#include "io/json.hpp"
+#include "serve/json_out.hpp"
+
+namespace t1map::serve {
+
+namespace {
+
+/// Every key a request may carry; anything else is a typo worth rejecting
+/// loudly rather than silently ignoring.
+constexpr const char* kKnownFields[] = {
+    "cmd", "id", "gen", "blif", "config", "phases", "verify_rounds", "cec",
+};
+
+bool known_field(const std::string& name) {
+  for (const char* field : kKnownFields) {
+    if (name == field) return true;
+  }
+  return false;
+}
+
+/// Reads an integral number field with range validation.
+int int_field(const io::Json& request, const char* name, int fallback, int lo,
+              int hi) {
+  const io::Json* field = request.find(name);
+  if (field == nullptr) return fallback;
+  T1MAP_REQUIRE(field->is_number(), std::string(name) + " must be a number");
+  const double value = field->as_number();
+  T1MAP_REQUIRE(value == std::floor(value) && value >= lo && value <= hi,
+                std::string(name) + " must be an integer in [" +
+                    std::to_string(lo) + ", " + std::to_string(hi) + "]");
+  return static_cast<int>(value);
+}
+
+double stage_times_ms(const t1::StageTimes& t) {
+  return 1e3 * (t.map + t.t1_detect + t.stage_assign + t.dff_insert +
+                t.self_check + t.cec);
+}
+
+}  // namespace
+
+/// One request through its whole lifecycle: parse → hash → dispatch →
+/// response fields.
+struct Server::Job {
+  io::Json id;  // echoed verbatim
+  std::string cmd;
+  std::string error;  // non-empty: error response, nothing dispatched
+  std::string design;
+  Aig aig;
+  t1::FlowParams params;
+  bool with_cec = true;
+  t1::RunKey key;
+  std::uint64_t group = 0;  // configuration fingerprint (grouping key)
+  bool dispatched = false;
+  bool cached = false;
+  t1::EngineResult result;
+};
+
+Server::Server(ServeConfig config)
+    : config_(config), cache_(config.cache) {}
+
+Server::Job Server::parse_request(const std::string& line,
+                                  std::uint64_t seq) {
+  Job job;
+  job.id = io::Json(static_cast<double>(seq));
+  io::Json request;
+  try {
+    request = io::Json::parse(line);
+  } catch (const ContractError& e) {
+    job.error = std::string("malformed JSON: ") + e.what();
+    return job;
+  }
+
+  try {
+    T1MAP_REQUIRE(request.is_object(), "request must be a JSON object");
+    for (const auto& [name, value] : request.members()) {
+      T1MAP_REQUIRE(known_field(name), "unknown field '" + name + "'");
+    }
+    if (const io::Json* id = request.find("id")) job.id = *id;
+
+    if (const io::Json* cmd = request.find("cmd")) {
+      job.cmd = cmd->as_string();
+      T1MAP_REQUIRE(job.cmd == "stats" || job.cmd == "quit",
+                    "unknown cmd '" + job.cmd + "' (stats|quit)");
+      // A command carrying job fields is almost certainly two requests
+      // accidentally merged; dropping the job silently would lose work.
+      for (const char* field :
+           {"gen", "blif", "config", "phases", "verify_rounds", "cec"}) {
+        T1MAP_REQUIRE(request.find(field) == nullptr,
+                      "cmd '" + job.cmd + "' does not take the job field '" +
+                          field + "'");
+      }
+      return job;
+    }
+
+    const io::Json* gen = request.find("gen");
+    const io::Json* blif = request.find("blif");
+    T1MAP_REQUIRE((gen != nullptr) != (blif != nullptr),
+                  "exactly one of 'gen' or 'blif' is required");
+    if (gen != nullptr) {
+      job.design = gen->as_string();
+      job.aig = gen::make_named(job.design);
+    } else {
+      std::istringstream text(blif->as_string());
+      std::string model_name;
+      job.aig = io::read_blif(text, &model_name);
+      job.design = model_name;
+    }
+
+    std::string config = "t1";
+    if (const io::Json* c = request.find("config")) config = c->as_string();
+    T1MAP_REQUIRE(config == "1phi" || config == "nphi" || config == "t1",
+                  "config must be one of 1phi|nphi|t1, got '" + config + "'");
+    job.params.use_t1 = config == "t1";
+    // The phases field is validated whenever present — config 1phi pins
+    // the value, it does not exempt the request from type checking.
+    const int phases =
+        int_field(request, "phases", config_.default_phases, 1, 64);
+    if (config == "1phi") {
+      T1MAP_REQUIRE(request.find("phases") == nullptr || phases == 1,
+                    "config 1phi is single-phase; it conflicts with phases " +
+                        std::to_string(phases));
+      job.params.num_phases = 1;
+    } else {
+      job.params.num_phases = phases;
+    }
+    T1MAP_REQUIRE(!job.params.use_t1 || job.params.num_phases >= 3,
+                  "the t1 config needs phases >= 3");
+    job.params.verify_rounds = int_field(
+        request, "verify_rounds", config_.default_verify_rounds, 0, 1 << 20);
+    job.with_cec = config_.default_cec;
+    if (const io::Json* cec = request.find("cec")) {
+      job.with_cec = cec->as_bool();
+    }
+    if (config_.skip_checks) job.with_cec = false;
+  } catch (const ContractError& e) {
+    job.error = e.what();
+    return job;
+  }
+
+  // Cache key: structural AIG digest x configuration fingerprint x pipeline
+  // shape.  `group` keys the run_many batching (same configuration =>
+  // same group), the full `key` addresses the cache.
+  const Digest digest = hasher_.hash(job.aig);
+  const std::uint64_t pipeline_shape =
+      config_.skip_checks ? t1::fingerprint_string("map,t1,stage,dff")
+                          : (job.with_cec ? t1::fingerprint_string("cec")
+                                          : t1::fingerprint_string("default"));
+  job.group = t1::params_fingerprint(job.params) ^ pipeline_shape;
+  job.key.hi = digest.hi ^ job.group;
+  job.key.lo = digest.lo ^ (job.group * 0x9E3779B97F4A7C15ull);
+  return job;
+}
+
+void Server::process_batch(std::vector<Job>& batch) {
+  // Group flow jobs by configuration fingerprint; each group is one
+  // cache-aware run_many dispatch.
+  std::vector<std::uint64_t> groups;
+  for (const Job& job : batch) {
+    if (!job.error.empty() || !job.cmd.empty()) continue;
+    bool seen = false;
+    for (const std::uint64_t g : groups) seen |= g == job.group;
+    if (!seen) groups.push_back(job.group);
+  }
+
+  for (const std::uint64_t group : groups) {
+    std::vector<std::size_t> members;
+    std::vector<const Aig*> aigs;
+    std::vector<t1::RunKey> keys;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      Job& job = batch[i];
+      if (!job.error.empty() || !job.cmd.empty() || job.group != group) {
+        continue;
+      }
+      members.push_back(i);
+      aigs.push_back(&job.aig);
+      keys.push_back(job.key);
+    }
+
+    const Job& first = batch[members.front()];
+    engine_.set_pipeline(
+        config_.skip_checks
+            ? t1::Pipeline::parse("map,t1,stage,dff")
+            : t1::Pipeline::default_flow(/*with_cec=*/first.with_cec));
+    std::vector<std::uint8_t> cached;
+    std::vector<t1::EngineResult> results = engine_.run_many(
+        aigs, first.params, config_.threads, &cache_, keys, &cached);
+    for (std::size_t m = 0; m < members.size(); ++m) {
+      Job& job = batch[members[m]];
+      job.result = std::move(results[m]);
+      job.cached = cached[m] != 0;
+      job.dispatched = true;
+    }
+  }
+}
+
+void Server::write_response(std::ostream& out, const Job& job) {
+  io::JsonWriter w(out);
+  w.begin_object().key("id").value(job.id);
+
+  if (!job.error.empty()) {
+    w.key("ok").value(false).key("error").value(job.error);
+    w.end_object();
+  } else if (job.cmd == "stats") {
+    const CacheCounters c = cache_.counters();
+    w.key("ok").value(true);
+    w.key("serve").begin_object();
+    w.key("requests").value(counters_.requests);
+    w.key("batches").value(counters_.batches);
+    w.key("errors").value(counters_.errors);
+    w.key("cache").begin_object();
+    w.key("hits").value(c.hits).key("misses").value(c.misses);
+    w.key("insertions").value(c.insertions);
+    w.key("evictions").value(c.evictions);
+    w.key("entries").value(c.entries).key("bytes").value(c.bytes);
+    w.end_object().end_object().end_object();
+  } else if (job.cmd == "quit") {
+    w.key("ok").value(true).key("quit").value(true);
+    w.end_object();
+  } else if (!job.result.ok()) {
+    w.key("ok").value(false).key("design").value(job.design);
+    w.key("status").value(t1::flow_status_name(job.result.status));
+    w.key("error").value(job.result.diagnostics.first_error());
+    w.end_object();
+  } else {
+    w.key("ok").value(true).key("design").value(job.design);
+    w.key("cached").value(job.cached);
+    w.key("status").value("ok").key("cec").value(job.result.cec);
+    w.key("input").value(aig_input_json(job.aig, /*with_depth=*/false));
+    w.key("stats").value(flow_stats_json(job.result.stats));
+    // Flow compute time; a cache hit costs none (stored times are zeroed),
+    // so this is the only response field that varies between sessions.
+    w.key("ms").value(stage_times_ms(job.result.times));
+    w.end_object();
+  }
+  out << '\n';
+}
+
+std::uint64_t Server::serve(std::istream& in, std::ostream& out) {
+  std::string line;
+  bool quit = false;
+  while (!quit) {
+    std::vector<Job> batch;
+    while (static_cast<int>(batch.size()) < config_.batch_size) {
+      // The first read blocks (waiting for work); once the batch is
+      // non-empty, only lines already buffered are pulled in, so a
+      // synchronous client that awaits each response before sending the
+      // next request is answered immediately instead of deadlocking on an
+      // unfilled batch.
+      if (!batch.empty() && in.rdbuf()->in_avail() <= 0) break;
+      if (!std::getline(in, line)) break;
+      if (line.empty()) continue;  // blank keep-alive lines are fine
+      ++counters_.requests;
+      batch.push_back(parse_request(line, counters_.requests));
+      // A rejected quit (e.g. one carrying job fields) must not shut the
+      // session down.
+      if (batch.back().cmd == "quit" && batch.back().error.empty()) {
+        quit = true;
+        break;
+      }
+    }
+    if (batch.empty()) break;  // EOF
+
+    ++counters_.batches;  // counted up front so `stats` sees its own batch
+    process_batch(batch);
+    for (const Job& job : batch) {
+      if (!job.error.empty()) ++counters_.errors;
+      write_response(out, job);
+      ++counters_.responses;
+    }
+    out.flush();
+  }
+  return counters_.responses;
+}
+
+std::string Server::summary() const {
+  const CacheCounters c = cache_.counters();
+  std::ostringstream os;
+  os << counters_.requests << " requests in " << counters_.batches
+     << " batches (" << counters_.errors << " errors), cache: " << c.hits
+     << " hits / " << c.misses << " misses, " << c.entries << " entries, "
+     << c.bytes / 1024 << " KiB";
+  if (c.evictions > 0) os << ", " << c.evictions << " evictions";
+  return os.str();
+}
+
+}  // namespace t1map::serve

@@ -1,0 +1,96 @@
+/// \file server.hpp
+/// \brief JSONL batch-serving loop over `FlowEngine` + `FlowCache`.
+///
+/// Protocol (one JSON object per line in, one per line out, responses in
+/// request order):
+///
+///   request  := flow-job | command
+///   flow-job := {"id": any, "gen": NAME | "blif": TEXT,
+///                "config": "1phi"|"nphi"|"t1", "phases": N,
+///                "verify_rounds": N, "cec": BOOL}      (all but gen/blif
+///                                                       optional)
+///   command  := {"id": any, "cmd": "stats" | "quit"}
+///
+/// Responses:
+///
+///   ok   := {"id", "ok": true, "design", "cached", "status": "ok",
+///            "cec", "input": {pis,pos,ands}, "stats": {Table-I block},
+///            "ms": flow-compute milliseconds (0 on a cache hit)}
+///   fail := {"id", "ok": false, "error", ...}         (bad request or a
+///                                                      failed check pass)
+///
+/// Execution model: requests are read in batches (up to
+/// `ServeConfig::batch_size` lines), hashed (`AigHasher`), grouped by
+/// configuration fingerprint, and dispatched group-wise onto the cache-
+/// aware `FlowEngine::run_many` — hits fill without touching the flow,
+/// misses run on `threads` workers with per-worker scratch, duplicates
+/// within a batch compute once.  Everything except the `ms` timing field
+/// is deterministic: a given request script produces byte-identical
+/// responses regardless of the worker count.
+
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "serve/aig_hash.hpp"
+#include "serve/flow_cache.hpp"
+#include "t1/flow_engine.hpp"
+
+namespace t1map::serve {
+
+struct ServeConfig {
+  /// Worker threads for cache-miss dispatch (`FlowEngine::run_many`).
+  int threads = 1;
+  /// Maximum requests pulled into one dispatch batch.
+  int batch_size = 16;
+  /// Defaults applied when a request omits the field.
+  int default_phases = 4;
+  int default_verify_rounds = 8;
+  bool default_cec = true;
+  /// Drop the verification passes (timing/sim/cec) from every job.
+  bool skip_checks = false;
+  CacheConfig cache;
+};
+
+struct ServeCounters {
+  std::uint64_t requests = 0;
+  std::uint64_t responses = 0;
+  std::uint64_t errors = 0;  // malformed / rejected requests among them
+  std::uint64_t batches = 0;
+};
+
+class Server {
+ public:
+  explicit Server(ServeConfig config = {});
+
+  /// Reads JSONL requests from `in` until EOF or a `quit` command, writing
+  /// one response line per request to `out` (flushed per batch).  Returns
+  /// the number of requests served.  Blank lines are ignored.
+  std::uint64_t serve(std::istream& in, std::ostream& out);
+
+  const FlowCache& cache() const { return cache_; }
+  FlowCache& cache() { return cache_; }
+  ServeCounters counters() const { return counters_; }
+
+  /// One-line human summary of the session (requests, hit rate, bytes) for
+  /// the CLI's stderr epilogue.
+  std::string summary() const;
+
+ private:
+  struct Job;
+
+  Job parse_request(const std::string& line, std::uint64_t seq);
+  void process_batch(std::vector<Job>& batch);
+  void write_response(std::ostream& out, const Job& job);
+
+  ServeConfig config_;
+  FlowCache cache_;
+  t1::FlowEngine engine_;
+  AigHasher hasher_;
+  ServeCounters counters_;
+};
+
+}  // namespace t1map::serve

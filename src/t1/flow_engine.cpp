@@ -9,6 +9,7 @@
 #include <thread>
 #include <utility>
 
+#include "common/hash_mix.hpp"
 #include "retime/timing_check.hpp"
 #include "t1/t1_detect.hpp"
 #include "t1/t1_rewrite.hpp"
@@ -21,6 +22,10 @@ using Clock = std::chrono::steady_clock;
 
 double seconds_between(Clock::time_point from, Clock::time_point to) {
   return std::chrono::duration<double>(to - from).count();
+}
+
+std::uint64_t absorb(std::uint64_t acc, std::uint64_t value) {
+  return mix64(acc ^ value);
 }
 
 }  // namespace
@@ -333,6 +338,38 @@ const std::vector<std::string>& Pipeline::known_passes() {
   return names;
 }
 
+// --- Result-caching hook -----------------------------------------------------
+
+std::uint64_t params_fingerprint(const FlowParams& params) {
+  // Every field that can change the mapped netlist, the reported
+  // statistics, or a recorded check verdict takes part; adding a FlowParams
+  // field without extending this list is the classic stale-cache bug, so
+  // keep the two in lockstep.
+  std::uint64_t h = 0xC4F1A9B2D6E85301ull;  // domain seed
+  h = absorb(h, static_cast<std::uint64_t>(params.num_phases));
+  h = absorb(h, params.use_t1 ? 1 : 0);
+  h = absorb(h, params.optimize_stages ? 1 : 0);
+  h = absorb(h, static_cast<std::uint64_t>(params.stage_sweeps));
+  h = absorb(h, static_cast<std::uint64_t>(params.detect.cuts.k));
+  h = absorb(h, static_cast<std::uint64_t>(params.detect.cuts.max_cuts));
+  h = absorb(h, params.detect.allow_input_negation ? 1 : 0);
+  h = absorb(h, static_cast<std::uint64_t>(params.detect.min_gain));
+  h = absorb(h, static_cast<std::uint64_t>(params.mapper.cuts.k));
+  h = absorb(h, static_cast<std::uint64_t>(params.mapper.cuts.max_cuts));
+  h = absorb(h, static_cast<std::uint64_t>(params.verify_rounds));
+  h = absorb(h, static_cast<std::uint64_t>(params.cec_conflict_limit));
+  return h;
+}
+
+std::uint64_t fingerprint_string(std::string_view text) {
+  std::uint64_t h = 0xCBF29CE484222325ull;  // FNV-1a offset basis
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
 // --- Engine ------------------------------------------------------------------
 
 FlowEngine::FlowEngine() : pipeline_(Pipeline::default_flow()) {}
@@ -443,6 +480,75 @@ std::vector<EngineResult> FlowEngine::run_many(
       aigs.size(), num_threads, [&](std::size_t i, FlowScratch& scratch) {
         results[i] = run_with(pipeline_, *aigs[i], params, scratch);
       });
+  return results;
+}
+
+std::vector<EngineResult> FlowEngine::run_many(
+    std::span<const Aig* const> aigs, const FlowParams& params,
+    int num_threads, RunCache* cache, std::span<const RunKey> keys,
+    std::vector<std::uint8_t>* cached) {
+  if (cache == nullptr) {
+    if (cached != nullptr) cached->assign(aigs.size(), 0);
+    return run_many(aigs, params, num_threads);
+  }
+  T1MAP_REQUIRE(keys.size() == aigs.size(),
+                "run_many: cache keys must be index-aligned with the batch");
+  for (const Aig* aig : aigs) {
+    T1MAP_REQUIRE(aig != nullptr, "run_many: null AIG in batch");
+  }
+
+  std::vector<EngineResult> results(aigs.size());
+  if (cached != nullptr) cached->assign(aigs.size(), 0);
+
+  // Partition the batch: cache hits are filled immediately, the first
+  // occurrence of each unseen key is scheduled, and later duplicates of a
+  // scheduled key become aliases served after the representative computes.
+  std::vector<std::size_t> miss;               // representative indices
+  std::vector<std::pair<std::size_t, std::size_t>> alias;  // (index, rep)
+  for (std::size_t i = 0; i < aigs.size(); ++i) {
+    if (cache->lookup(keys[i], results[i])) {
+      if (cached != nullptr) (*cached)[i] = 1;
+      continue;
+    }
+    bool duplicate = false;
+    for (const std::size_t m : miss) {
+      if (keys[m] == keys[i]) {
+        alias.emplace_back(i, m);
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) miss.push_back(i);
+  }
+
+  if (!miss.empty()) {
+    if (std::clamp(num_threads, 1, static_cast<int>(miss.size())) == 1) {
+      for (const std::size_t i : miss) {
+        results[i] = run_with(pipeline_, *aigs[i], params, scratch_);
+      }
+    } else {
+      for_each_with_scratch(
+          miss.size(), num_threads, [&](std::size_t m, FlowScratch& scratch) {
+            const std::size_t i = miss[m];
+            results[i] = run_with(pipeline_, *aigs[i], params, scratch);
+          });
+    }
+    // Only ok-results are offered: a failed run carries partial state that
+    // must not masquerade as a mapped design on a later hit.
+    for (const std::size_t i : miss) {
+      if (results[i].ok()) cache->store(keys[i], results[i]);
+    }
+  }
+
+  // Aliases re-read through the cache so hit counters stay truthful; a
+  // non-ok representative (never stored) is copied directly instead.
+  for (const auto& [i, rep] : alias) {
+    if (cache->lookup(keys[i], results[i])) {
+      if (cached != nullptr) (*cached)[i] = 1;
+    } else {
+      results[i] = results[rep];
+    }
+  }
   return results;
 }
 

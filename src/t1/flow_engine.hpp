@@ -36,6 +36,7 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "cut/cut_enum.hpp"
@@ -228,6 +229,43 @@ class SatCecPass final : public Pass {
 /// Factory over the pass registry; nullptr for unknown names.
 std::unique_ptr<Pass> make_pass(const std::string& name);
 
+// --- Result-caching hook -----------------------------------------------------
+
+struct EngineResult;  // declared with the engine below
+
+/// Opaque 128-bit key identifying one (source AIG, configuration) mapping
+/// problem.  Producers combine a canonical structural hash of the AIG
+/// (serve::AigHasher) with `params_fingerprint` and the pipeline spec; the
+/// engine never interprets the bits.
+struct RunKey {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+  friend bool operator==(const RunKey&, const RunKey&) = default;
+};
+
+/// Cache interface the cached `run_many` overload consults before
+/// dispatching work.  Implementations must be safe for concurrent callers
+/// (serve::FlowCache is the production one); the engine calls `lookup`
+/// only from the dispatching thread and `store` once per freshly computed
+/// ok-result.
+class RunCache {
+ public:
+  virtual ~RunCache() = default;
+  /// Fills `out` and returns true when `key` is present.
+  virtual bool lookup(const RunKey& key, EngineResult& out) = 0;
+  /// Offers a freshly computed successful result for retention.
+  virtual void store(const RunKey& key, const EngineResult& result) = 0;
+};
+
+/// Platform-stable 64-bit fingerprint of every `FlowParams` field that
+/// influences the mapped result or its recorded verdicts.  Two parameter
+/// sets with equal fingerprints are interchangeable for caching.
+std::uint64_t params_fingerprint(const FlowParams& params);
+
+/// Platform-stable 64-bit FNV-1a, used to fold strings (e.g. a pipeline
+/// spec) into cache keys.
+std::uint64_t fingerprint_string(std::string_view text);
+
 /// Shared worker-pool core: invokes `fn(index, scratch)` for every index in
 /// [0, count) on `workers` threads (1 = inline on the calling thread), one
 /// `FlowScratch` per worker, and rethrows the first worker exception on the
@@ -310,6 +348,18 @@ class FlowEngine {
   std::vector<EngineResult> run_many(std::span<const Aig* const> aigs,
                                      const FlowParams& params,
                                      int num_threads);
+
+  /// Cache-aware batched execution: consults `cache` (keyed by the caller-
+  /// supplied `keys`, index-aligned with `aigs`) before dispatching.  Hits
+  /// are filled without touching the flow; duplicate keys within the batch
+  /// compute once; fresh ok-results are offered back via `store`.  When
+  /// `cached` is non-null it receives one flag per index (1 = served from
+  /// the cache or deduplicated against an earlier batch entry).  Results
+  /// are bit-for-bit identical to the uncached overload.
+  std::vector<EngineResult> run_many(
+      std::span<const Aig* const> aigs, const FlowParams& params,
+      int num_threads, RunCache* cache, std::span<const RunKey> keys,
+      std::vector<std::uint8_t>* cached = nullptr);
 
   FlowScratch& scratch() { return scratch_; }
 
