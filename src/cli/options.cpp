@@ -121,6 +121,24 @@ Options parse_options(int argc, const char* const* argv) {
     } else if (arg == "--serve-batch") {
       serve_only_flag = arg;
       opts.serve_batch = parse_int(arg, value_of(i), 1, 4096);
+    } else if (arg == "--serve-listen") {
+      serve_only_flag = arg;
+      opts.serve_listen = value_of(i);
+      if (opts.serve_listen.empty()) {
+        throw UsageError("--serve-listen expects unix:PATH or tcp:HOST:PORT");
+      }
+    } else if (arg == "--cache-dir") {
+      serve_only_flag = arg;
+      opts.cache_dir = value_of(i);
+      if (opts.cache_dir.empty()) {
+        throw UsageError("--cache-dir expects a directory path");
+      }
+    } else if (arg == "--drain-timeout") {
+      serve_only_flag = arg;
+      opts.drain_timeout_ms = parse_int(arg, value_of(i), 0, 1 << 30);
+    } else if (arg == "--serve-idle") {
+      serve_only_flag = arg;
+      opts.serve_idle_ms = parse_int(arg, value_of(i), 0, 1 << 30);
     } else if (arg == "--json") {
       opts.json = true;
     } else if (arg == "--out-blif") {
@@ -179,6 +197,14 @@ Options parse_options(int argc, const char* const* argv) {
     if (opts.phases < 3) {
       throw UsageError("--serve defaults jobs to the t1 configuration and "
                        "needs --phases >= 3");
+    }
+    if (!opts.serve_listen.empty() && opts.serve_in != "-") {
+      throw UsageError("--serve-listen and --serve-in select different "
+                       "transports; use one of them");
+    }
+    if (opts.serve_listen.empty() && opts.serve_idle_ms != 0) {
+      throw UsageError("--serve-idle bounds socket connections and needs "
+                       "--serve-listen");
     }
     return opts;
   }
@@ -276,6 +302,18 @@ std::string usage() {
       "                              stdin ('-'; named FIFOs work)\n"
       "  --serve-batch N             max requests per dispatch batch\n"
       "                              (default 16)\n"
+      "  --serve-listen ADDR         serve over a socket instead of stdin:\n"
+      "                              unix:PATH or tcp:HOST:PORT (port 0 =\n"
+      "                              ephemeral, printed on stderr).  Each\n"
+      "                              client gets its own session over the\n"
+      "                              shared cache\n"
+      "  --cache-dir DIR             persistent second cache tier: results\n"
+      "                              are logged to DIR and warm-start the\n"
+      "                              next server (created when missing)\n"
+      "  --drain-timeout MS          shutdown grace for in-flight batches\n"
+      "                              (default 5000)\n"
+      "  --serve-idle MS             disconnect socket clients idle longer\n"
+      "                              than MS (default: never)\n"
       "  --out-blif FILE             write the mapped netlist as BLIF\n"
       "  --out-dot FILE              write a stage-annotated DOT graph\n"
       "  --paper                     also print the published Table-I row\n"

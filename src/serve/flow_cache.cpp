@@ -105,8 +105,8 @@ void FlowCache::store(const t1::RunKey& key, const t1::EngineResult& result) {
   }
 }
 
-CacheCounters FlowCache::counters() const {
-  CacheCounters total;
+t1::CacheStats FlowCache::stats() const {
+  t1::CacheStats total;
   for (const Shard& shard : shards_) {
     const std::lock_guard<std::mutex> lock(shard.mu);
     total.hits += shard.hits;
@@ -117,6 +117,15 @@ CacheCounters FlowCache::counters() const {
     total.bytes += shard.bytes;
   }
   return total;
+}
+
+std::vector<std::uint64_t> FlowCache::shard_occupancy() const {
+  std::vector<std::uint64_t> occupancy(shards_.size());
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const std::lock_guard<std::mutex> lock(shards_[i].mu);
+    occupancy[i] = shards_[i].lru.size();
+  }
+  return occupancy;
 }
 
 void FlowCache::clear() {

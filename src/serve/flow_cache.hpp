@@ -1,20 +1,21 @@
 /// \file flow_cache.hpp
-/// \brief Sharded, thread-safe LRU cache of mapped flow results.
+/// \brief Sharded, thread-safe in-memory LRU cache of mapped flow results
+/// — the memory tier of the serving cache.
 ///
-/// Implements the `t1::RunCache` hook: keys are 128-bit `(AIG digest,
-/// configuration fingerprint)` values (see aig_hash.hpp and
-/// `t1::params_fingerprint`), entries hold the complete `EngineResult` —
-/// mapped netlist, materialized netlist, Table-I statistics, diagnostics
-/// and the CEC verdict — so a hit reproduces a cold `run` bit for bit
-/// (stage times excepted: they are zeroed, a cached result costs no flow
-/// time).
+/// Implements the `CacheTier` surface (and through it `t1::RunCache`):
+/// keys are 128-bit `(AIG digest, configuration fingerprint)` values (see
+/// aig_hash.hpp and `t1::params_fingerprint`), entries hold the complete
+/// `EngineResult` — mapped netlist, materialized netlist, Table-I
+/// statistics, diagnostics and the CEC verdict — so a hit reproduces a
+/// cold `run` bit for bit (stage times excepted: they are zeroed, a cached
+/// result costs no flow time).
 ///
 /// Concurrency: the key space is split across `num_shards` independently
 /// locked shards, so concurrent lookups/stores contend only when they land
 /// on the same shard.  Memory: every entry is charged an estimated byte
 /// size; each shard evicts from its LRU tail once its share of `max_bytes`
 /// overflows.  Hit/miss/insertion/eviction counters are maintained per
-/// shard and aggregated on read.
+/// shard and aggregated by `stats()`.
 
 #pragma once
 
@@ -25,6 +26,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "serve/tiered_cache.hpp"
 #include "t1/flow_engine.hpp"
 
 namespace t1map::serve {
@@ -36,34 +38,28 @@ struct CacheConfig {
   int num_shards = 8;
 };
 
-/// Aggregated snapshot of the cache state.
-struct CacheCounters {
-  std::uint64_t hits = 0;
-  std::uint64_t misses = 0;
-  std::uint64_t insertions = 0;
-  std::uint64_t evictions = 0;
-  std::size_t entries = 0;
-  std::size_t bytes = 0;
-};
-
 /// Estimated resident size of a cached result in bytes (vectors, strings
 /// and both netlists included).  An estimate, not an accounting audit —
 /// the budget exists to bound memory, not to bill it exactly.
 std::size_t estimate_result_bytes(const t1::EngineResult& result);
 
-class FlowCache final : public t1::RunCache {
+class FlowCache final : public CacheTier {
  public:
   explicit FlowCache(CacheConfig config = {});
 
-  // t1::RunCache.
+  // CacheTier.
   bool lookup(const t1::RunKey& key, t1::EngineResult& out) override;
   void store(const t1::RunKey& key, const t1::EngineResult& result) override;
+  t1::CacheStats stats() const override;
+  const char* tier_name() const override { return "memory"; }
 
-  CacheCounters counters() const;
   void clear();
 
   std::size_t max_bytes() const { return config_.max_bytes; }
   int num_shards() const { return static_cast<int>(shards_.size()); }
+  /// Resident entry count per shard — the `stats` command's occupancy
+  /// report (a skewed distribution means a hot digest range).
+  std::vector<std::uint64_t> shard_occupancy() const;
 
  private:
   struct KeyHash {

@@ -1,0 +1,84 @@
+/// \file histogram.hpp
+/// \brief Log-bucketed, mergeable latency histograms for serve
+/// introspection.
+///
+/// Buckets are powers of two in *microseconds*: bucket b counts samples in
+/// (2^(b-1), 2^b] µs (bucket 0: everything at or below 1 µs).  32 buckets
+/// reach ~35 minutes — beyond any flow this system runs.  The geometric
+/// spacing keeps the struct tiny and constant-size, which is what makes
+/// histograms mergeable across sessions and across server restarts:
+/// bucket-wise addition is exact, no rebinning.
+
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstdint>
+
+#include "io/json.hpp"
+
+namespace t1map::serve {
+
+class LatencyHistogram {
+ public:
+  static constexpr int kBuckets = 32;
+
+  void record_ms(double ms) {
+    const double us = ms * 1e3;
+    int bucket = 0;
+    if (us > 1.0) {
+      const auto floor_us = static_cast<std::uint64_t>(us);
+      const std::uint64_t ceil_us = floor_us + (us > floor_us);
+      bucket = std::min<int>(kBuckets - 1, std::bit_width(ceil_us - 1));
+    }
+    ++buckets_[static_cast<std::size_t>(bucket)];
+    ++count_;
+    total_ms_ += ms;
+    max_ms_ = std::max(max_ms_, ms);
+  }
+
+  /// Bucket-wise addition — exact, order-independent.
+  void merge(const LatencyHistogram& other) {
+    for (int b = 0; b < kBuckets; ++b) buckets_[b] += other.buckets_[b];
+    count_ += other.count_;
+    total_ms_ += other.total_ms_;
+    max_ms_ = std::max(max_ms_, other.max_ms_);
+  }
+
+  std::uint64_t count() const { return count_; }
+  double total_ms() const { return total_ms_; }
+  double max_ms() const { return max_ms_; }
+
+  /// Upper edge of bucket `b` in milliseconds.
+  static double bucket_le_ms(int b) {
+    return static_cast<double>(1ull << b) / 1e3;
+  }
+
+  /// `{count, mean_ms, max_ms, buckets: [[le_ms, n], ...]}` with empty
+  /// buckets omitted — compact enough for a JSONL stats response.
+  io::Json to_json() const {
+    io::Json j = io::Json::object();
+    j.set("count", static_cast<double>(count_));
+    j.set("mean_ms", count_ == 0 ? 0.0 : total_ms_ / count_);
+    j.set("max_ms", max_ms_);
+    io::Json buckets = io::Json::array();
+    for (int b = 0; b < kBuckets; ++b) {
+      if (buckets_[b] == 0) continue;
+      io::Json pair = io::Json::array();
+      pair.push_back(bucket_le_ms(b));
+      pair.push_back(static_cast<double>(buckets_[b]));
+      buckets.push_back(std::move(pair));
+    }
+    j.set("buckets", std::move(buckets));
+    return j;
+  }
+
+ private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  double total_ms_ = 0.0;
+  double max_ms_ = 0.0;
+};
+
+}  // namespace t1map::serve

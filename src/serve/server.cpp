@@ -1,15 +1,19 @@
 #include "serve/server.hpp"
 
+#include <chrono>
 #include <cmath>
+#include <condition_variable>
 #include <istream>
 #include <ostream>
 #include <sstream>
+#include <thread>
 #include <utility>
 
 #include "common/require.hpp"
 #include "gen/registry.hpp"
 #include "io/blif.hpp"
 #include "io/json.hpp"
+#include "serve/disk_cache.hpp"
 #include "serve/json_out.hpp"
 
 namespace t1map::serve {
@@ -47,6 +51,13 @@ double stage_times_ms(const t1::StageTimes& t) {
                 t.self_check + t.cec);
 }
 
+void write_cache_stats_fields(io::JsonWriter& w, const t1::CacheStats& c) {
+  w.key("hits").value(c.hits).key("misses").value(c.misses);
+  w.key("insertions").value(c.insertions);
+  w.key("evictions").value(c.evictions);
+  w.key("entries").value(c.entries).key("bytes").value(c.bytes);
+}
+
 }  // namespace
 
 /// One request through its whole lifecycle: parse → hash → dispatch →
@@ -56,6 +67,7 @@ struct Server::Job {
   std::string cmd;
   std::string error;  // non-empty: error response, nothing dispatched
   std::string design;
+  std::string config_name = "t1";  // latency-histogram key
   Aig aig;
   t1::FlowParams params;
   bool with_cec = true;
@@ -66,11 +78,29 @@ struct Server::Job {
   t1::EngineResult result;
 };
 
-Server::Server(ServeConfig config)
-    : config_(config), cache_(config.cache) {}
+/// Bookkeeping for one connection's session thread, shared with the
+/// accept/drain loop.
+struct Server::SessionState {
+  std::unique_ptr<Connection> conn;
+  std::thread thread;
+  std::atomic<bool> done{false};
+};
 
-Server::Job Server::parse_request(const std::string& line,
-                                  std::uint64_t seq) {
+Server::Server(ServeConfig config) : config_(std::move(config)) {
+  auto memory = std::make_unique<FlowCache>(config_.cache);
+  memory_tier_ = memory.get();
+  cache_.add_tier(std::move(memory));
+  if (!config_.cache_dir.empty()) {
+    DiskCacheConfig disk;
+    disk.dir = config_.cache_dir;
+    auto tier = std::make_unique<DiskCache>(disk);
+    disk_tier_ = tier.get();
+    cache_.add_tier(std::move(tier));
+  }
+}
+
+Server::Job Server::parse_request(const std::string& line, std::uint64_t seq,
+                                  AigHasher& hasher) const {
   Job job;
   job.id = io::Json(static_cast<double>(seq));
   io::Json request;
@@ -81,6 +111,7 @@ Server::Job Server::parse_request(const std::string& line,
     return job;
   }
 
+  const JobDefaults& defaults = config_.defaults;
   try {
     T1MAP_REQUIRE(request.is_object(), "request must be a JSON object");
     for (const auto& [name, value] : request.members()) {
@@ -121,11 +152,11 @@ Server::Job Server::parse_request(const std::string& line,
     if (const io::Json* c = request.find("config")) config = c->as_string();
     T1MAP_REQUIRE(config == "1phi" || config == "nphi" || config == "t1",
                   "config must be one of 1phi|nphi|t1, got '" + config + "'");
+    job.config_name = config;
     job.params.use_t1 = config == "t1";
     // The phases field is validated whenever present — config 1phi pins
     // the value, it does not exempt the request from type checking.
-    const int phases =
-        int_field(request, "phases", config_.default_phases, 1, 64);
+    const int phases = int_field(request, "phases", defaults.phases, 1, 64);
     if (config == "1phi") {
       T1MAP_REQUIRE(request.find("phases") == nullptr || phases == 1,
                     "config 1phi is single-phase; it conflicts with phases " +
@@ -136,13 +167,13 @@ Server::Job Server::parse_request(const std::string& line,
     }
     T1MAP_REQUIRE(!job.params.use_t1 || job.params.num_phases >= 3,
                   "the t1 config needs phases >= 3");
-    job.params.verify_rounds = int_field(
-        request, "verify_rounds", config_.default_verify_rounds, 0, 1 << 20);
-    job.with_cec = config_.default_cec;
+    job.params.verify_rounds = int_field(request, "verify_rounds",
+                                         defaults.verify_rounds, 0, 1 << 20);
+    job.with_cec = defaults.cec;
     if (const io::Json* cec = request.find("cec")) {
       job.with_cec = cec->as_bool();
     }
-    if (config_.skip_checks) job.with_cec = false;
+    if (defaults.skip_checks) job.with_cec = false;
   } catch (const ContractError& e) {
     job.error = e.what();
     return job;
@@ -151,18 +182,18 @@ Server::Job Server::parse_request(const std::string& line,
   // Cache key: structural AIG digest x configuration fingerprint x pipeline
   // shape.  `group` keys the run_many batching (same configuration =>
   // same group), the full `key` addresses the cache.
-  const Digest digest = hasher_.hash(job.aig);
+  const Digest digest = hasher.hash(job.aig);
   const std::uint64_t pipeline_shape =
-      config_.skip_checks ? t1::fingerprint_string("map,t1,stage,dff")
-                          : (job.with_cec ? t1::fingerprint_string("cec")
-                                          : t1::fingerprint_string("default"));
+      defaults.skip_checks ? t1::fingerprint_string("map,t1,stage,dff")
+                           : (job.with_cec ? t1::fingerprint_string("cec")
+                                           : t1::fingerprint_string("default"));
   job.group = t1::params_fingerprint(job.params) ^ pipeline_shape;
   job.key.hi = digest.hi ^ job.group;
   job.key.lo = digest.lo ^ (job.group * 0x9E3779B97F4A7C15ull);
   return job;
 }
 
-void Server::process_batch(std::vector<Job>& batch) {
+void Server::process_batch(t1::FlowEngine& engine, std::vector<Job>& batch) {
   // Group flow jobs by configuration fingerprint; each group is one
   // cache-aware run_many dispatch.
   std::vector<std::uint64_t> groups;
@@ -188,42 +219,82 @@ void Server::process_batch(std::vector<Job>& batch) {
     }
 
     const Job& first = batch[members.front()];
-    engine_.set_pipeline(
-        config_.skip_checks
+    engine.set_pipeline(
+        config_.defaults.skip_checks
             ? t1::Pipeline::parse("map,t1,stage,dff")
             : t1::Pipeline::default_flow(/*with_cec=*/first.with_cec));
+    const auto start = std::chrono::steady_clock::now();
     std::vector<std::uint8_t> cached;
-    std::vector<t1::EngineResult> results = engine_.run_many(
+    std::vector<t1::EngineResult> results = engine.run_many(
         aigs, first.params, config_.threads, &cache_, keys, &cached);
+    const double dispatch_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count();
     for (std::size_t m = 0; m < members.size(); ++m) {
       Job& job = batch[members[m]];
       job.result = std::move(results[m]);
       job.cached = cached[m] != 0;
       job.dispatched = true;
     }
+    // One dispatch-latency sample per job in the group: "what did a
+    // request of this config cost end to end", cache hits included.
+    const std::lock_guard<std::mutex> lock(latency_mu_);
+    LatencyHistogram& hist = latency_[first.config_name];
+    for (std::size_t m = 0; m < members.size(); ++m) {
+      hist.record_ms(dispatch_ms / static_cast<double>(members.size()));
+    }
   }
 }
 
-void Server::write_response(std::ostream& out, const Job& job) {
-  io::JsonWriter w(out);
+void Server::write_response(Connection& conn, const Job& job) {
+  std::ostringstream os;
+  io::JsonWriter w(os);
   w.begin_object().key("id").value(job.id);
 
   if (!job.error.empty()) {
     w.key("ok").value(false).key("error").value(job.error);
     w.end_object();
   } else if (job.cmd == "stats") {
-    const CacheCounters c = cache_.counters();
     w.key("ok").value(true);
     w.key("serve").begin_object();
-    w.key("requests").value(counters_.requests);
-    w.key("batches").value(counters_.batches);
-    w.key("errors").value(counters_.errors);
+    w.key("requests").value(requests_.load(std::memory_order_relaxed));
+    w.key("batches").value(batches_.load(std::memory_order_relaxed));
+    w.key("errors").value(errors_.load(std::memory_order_relaxed));
+    w.key("connections").value(connections_.load(std::memory_order_relaxed));
+
     w.key("cache").begin_object();
-    w.key("hits").value(c.hits).key("misses").value(c.misses);
-    w.key("insertions").value(c.insertions);
-    w.key("evictions").value(c.evictions);
-    w.key("entries").value(c.entries).key("bytes").value(c.bytes);
-    w.end_object().end_object().end_object();
+    write_cache_stats_fields(w, cache_.stats());
+    w.key("tiers").begin_array();
+    for (std::size_t i = 0; i < cache_.num_tiers(); ++i) {
+      const CacheTier& tier = cache_.tier(i);
+      w.begin_object().key("name").value(tier.tier_name());
+      write_cache_stats_fields(w, tier.stats());
+      if (&tier == memory_tier_) {
+        w.key("shards").begin_array();
+        for (const std::uint64_t n : memory_tier_->shard_occupancy()) {
+          w.value(n);
+        }
+        w.end_array();
+      }
+      if (&tier == disk_tier_) {
+        w.key("recovered_entries").value(disk_tier_->recovered_entries());
+        w.key("recovered_truncated_bytes")
+            .value(disk_tier_->recovered_truncated_bytes());
+      }
+      w.end_object();
+    }
+    w.end_array().end_object();
+
+    {
+      const std::lock_guard<std::mutex> lock(latency_mu_);
+      w.key("latency").begin_object();
+      for (const auto& [config, hist] : latency_) {
+        w.key(config).value(hist.to_json());
+      }
+      w.end_object();
+    }
+    w.end_object().end_object();
   } else if (job.cmd == "quit") {
     w.key("ok").value(true).key("quit").value(true);
     w.end_object();
@@ -243,13 +314,21 @@ void Server::write_response(std::ostream& out, const Job& job) {
     w.key("ms").value(stage_times_ms(job.result.times));
     w.end_object();
   }
-  out << '\n';
+  os << '\n';
+  conn.write(os.str());
 }
 
-std::uint64_t Server::serve(std::istream& in, std::ostream& out) {
+void Server::run_session(Connection& conn, Transport& transport) {
+  // Each session owns its engine (pipeline state is per-session) and
+  // hasher; the cache and the counters are the shared state.
+  t1::FlowEngine engine;
+  AigHasher hasher;
+  connections_.fetch_add(1, std::memory_order_relaxed);
+
   std::string line;
   bool quit = false;
-  while (!quit) {
+  bool closed = false;
+  while (!quit && !closed) {
     std::vector<Job> batch;
     while (static_cast<int>(batch.size()) < config_.batch_size) {
       // The first read blocks (waiting for work); once the batch is
@@ -257,11 +336,22 @@ std::uint64_t Server::serve(std::istream& in, std::ostream& out) {
       // synchronous client that awaits each response before sending the
       // next request is answered immediately instead of deadlocking on an
       // unfilled batch.
-      if (!batch.empty() && in.rdbuf()->in_avail() <= 0) break;
-      if (!std::getline(in, line)) break;
+      const ReadResult rr = conn.read_line(line, /*wait=*/batch.empty());
+      if (rr == ReadResult::kIdle) break;
+      if (rr == ReadResult::kClosed) {
+        closed = true;
+        break;
+      }
       if (line.empty()) continue;  // blank keep-alive lines are fine
-      ++counters_.requests;
-      batch.push_back(parse_request(line, counters_.requests));
+      const std::uint64_t seq =
+          requests_.fetch_add(1, std::memory_order_relaxed) + 1;
+      batch.push_back(parse_request(line, seq, hasher));
+      // Malformed lines are counted where they are detected, so every
+      // transport reports them identically (and `stats` sees errors from
+      // its own batch).
+      if (!batch.back().error.empty()) {
+        errors_.fetch_add(1, std::memory_order_relaxed);
+      }
       // A rejected quit (e.g. one carrying job fields) must not shut the
       // session down.
       if (batch.back().cmd == "quit" && batch.back().error.empty()) {
@@ -269,27 +359,101 @@ std::uint64_t Server::serve(std::istream& in, std::ostream& out) {
         break;
       }
     }
-    if (batch.empty()) break;  // EOF
+    if (batch.empty()) break;  // EOF / shutdown
 
-    ++counters_.batches;  // counted up front so `stats` sees its own batch
-    process_batch(batch);
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    process_batch(engine, batch);
     for (const Job& job : batch) {
-      if (!job.error.empty()) ++counters_.errors;
-      write_response(out, job);
-      ++counters_.responses;
+      write_response(conn, job);
+      responses_.fetch_add(1, std::memory_order_relaxed);
     }
-    out.flush();
+    conn.flush();
   }
-  return counters_.responses;
+
+  // quit shuts the whole server down, not just this client: the accept
+  // loop wakes, stops accepting, and drains the other sessions.
+  if (quit) transport.shutdown();
+}
+
+std::uint64_t Server::serve(Transport& transport) {
+  std::vector<std::unique_ptr<SessionState>> sessions;
+  std::mutex mu;
+  std::condition_variable cv;
+
+  while (std::unique_ptr<Connection> conn = transport.accept()) {
+    auto state = std::make_unique<SessionState>();
+    state->conn = std::move(conn);
+    SessionState* raw = state.get();
+    state->thread = std::thread([this, raw, &transport, &mu, &cv] {
+      run_session(*raw->conn, transport);
+      {
+        const std::lock_guard<std::mutex> lock(mu);
+        // Close the connection as the session ends (the peer must see EOF
+        // now, not at drain time).  Under the lock so the drain loop never
+        // aborts a connection mid-destruction.
+        raw->conn.reset();
+        raw->done.store(true, std::memory_order_release);
+      }
+      cv.notify_all();
+    });
+    sessions.push_back(std::move(state));
+
+    // Reap finished sessions so a long-lived server doesn't accumulate
+    // joinable threads.
+    for (auto& s : sessions) {
+      if (s && s->done.load(std::memory_order_acquire)) {
+        s->thread.join();
+        s.reset();
+      }
+    }
+    std::erase_if(sessions,
+                  [](const std::unique_ptr<SessionState>& s) { return !s; });
+  }
+
+  // Drain: sessions see kClosed on their next blocking read (the shutdown
+  // pipe stays readable).  Give in-flight batches drain_timeout_ms, then
+  // abort the stragglers' connections and join everyone.
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    const auto all_done = [&sessions] {
+      for (const auto& s : sessions) {
+        if (!s->done.load(std::memory_order_acquire)) return false;
+      }
+      return true;
+    };
+    if (!cv.wait_for(lock, std::chrono::milliseconds(config_.drain_timeout_ms),
+                     all_done)) {
+      for (auto& s : sessions) {
+        if (!s->done.load(std::memory_order_acquire)) s->conn->abort();
+      }
+    }
+  }
+  for (auto& s : sessions) s->thread.join();
+  return responses_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Server::serve(std::istream& in, std::ostream& out) {
+  StreamTransport transport(in, out);
+  return serve(transport);
+}
+
+ServeCounters Server::counters() const {
+  ServeCounters c;
+  c.requests = requests_.load(std::memory_order_relaxed);
+  c.responses = responses_.load(std::memory_order_relaxed);
+  c.errors = errors_.load(std::memory_order_relaxed);
+  c.batches = batches_.load(std::memory_order_relaxed);
+  c.connections = connections_.load(std::memory_order_relaxed);
+  return c;
 }
 
 std::string Server::summary() const {
-  const CacheCounters c = cache_.counters();
+  const ServeCounters n = counters();
+  const t1::CacheStats c = cache_.stats();
   std::ostringstream os;
-  os << counters_.requests << " requests in " << counters_.batches
-     << " batches (" << counters_.errors << " errors), cache: " << c.hits
-     << " hits / " << c.misses << " misses, " << c.entries << " entries, "
-     << c.bytes / 1024 << " KiB";
+  os << n.requests << " requests in " << n.batches << " batches ("
+     << n.errors << " errors), cache: " << c.hits << " hits / " << c.misses
+     << " misses, " << c.entries << " entries, " << c.bytes / 1024 << " KiB";
   if (c.evictions > 0) os << ", " << c.evictions << " evictions";
   return os.str();
 }

@@ -1,8 +1,8 @@
 /// \file server.hpp
-/// \brief JSONL batch-serving loop over `FlowEngine` + `FlowCache`.
+/// \brief JSONL batch-serving core over `FlowEngine` + the tiered cache.
 ///
 /// Protocol (one JSON object per line in, one per line out, responses in
-/// request order):
+/// request order per connection):
 ///
 ///   request  := flow-job | command
 ///   flow-job := {"id": any, "gen": NAME | "blif": TEXT,
@@ -19,40 +19,73 @@
 ///   fail := {"id", "ok": false, "error", ...}         (bad request or a
 ///                                                      failed check pass)
 ///
-/// Execution model: requests are read in batches (up to
-/// `ServeConfig::batch_size` lines), hashed (`AigHasher`), grouped by
-/// configuration fingerprint, and dispatched group-wise onto the cache-
-/// aware `FlowEngine::run_many` — hits fill without touching the flow,
-/// misses run on `threads` workers with per-worker scratch, duplicates
-/// within a batch compute once.  Everything except the `ms` timing field
-/// is deterministic: a given request script produces byte-identical
-/// responses regardless of the worker count.
+/// Execution model: the server accepts connections from a `Transport` and
+/// runs one session thread per connection.  Each session reads requests in
+/// batches (up to `ServeConfig::batch_size` lines), hashes them
+/// (`AigHasher`), groups by configuration fingerprint, and dispatches
+/// group-wise onto the cache-aware `FlowEngine::run_many` — hits fill
+/// without touching the flow, misses run on `threads` workers, duplicates
+/// within a batch compute once.  Sessions share one `TieredCache`
+/// (in-memory `FlowCache`, optionally backed by a persistent `DiskCache`
+/// under `cache_dir`), so any client's cold run is every client's warm
+/// hit — across server restarts when the disk tier is on.  Everything
+/// except the timing fields is deterministic: a given request script
+/// produces byte-identical responses regardless of worker count or
+/// transport.
+///
+/// Shutdown: a `quit` command (or `Transport::shutdown()`, e.g. from a
+/// SIGTERM handler) stops the accept loop and asks every session to
+/// finish its current batch; sessions still running after
+/// `drain_timeout_ms` have their connections aborted.
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "serve/aig_hash.hpp"
 #include "serve/flow_cache.hpp"
+#include "serve/histogram.hpp"
+#include "serve/tiered_cache.hpp"
+#include "serve/transport.hpp"
 #include "t1/flow_engine.hpp"
 
 namespace t1map::serve {
 
+class DiskCache;
+
+/// Per-request defaults applied when a flow-job omits the field.  Shared
+/// by the server and the CLI so "what does an empty request mean" has one
+/// definition.
+struct JobDefaults {
+  int phases = 4;
+  int verify_rounds = 8;
+  bool cec = true;
+  /// Drop the verification passes (timing/sim/cec) from every job.
+  bool skip_checks = false;
+};
+
 struct ServeConfig {
-  /// Worker threads for cache-miss dispatch (`FlowEngine::run_many`).
+  /// Worker threads for cache-miss dispatch (`FlowEngine::run_many`),
+  /// per session.
   int threads = 1;
   /// Maximum requests pulled into one dispatch batch.
   int batch_size = 16;
-  /// Defaults applied when a request omits the field.
-  int default_phases = 4;
-  int default_verify_rounds = 8;
-  bool default_cec = true;
-  /// Drop the verification passes (timing/sim/cec) from every job.
-  bool skip_checks = false;
+  JobDefaults defaults;
+  /// Memory tier sizing.
   CacheConfig cache;
+  /// Non-empty: directory for the persistent disk tier (created when
+  /// missing, recovered on boot).
+  std::string cache_dir;
+  /// How long shutdown waits for in-flight batches before aborting their
+  /// connections.
+  int drain_timeout_ms = 5000;
 };
 
 struct ServeCounters {
@@ -60,20 +93,32 @@ struct ServeCounters {
   std::uint64_t responses = 0;
   std::uint64_t errors = 0;  // malformed / rejected requests among them
   std::uint64_t batches = 0;
+  std::uint64_t connections = 0;
 };
 
 class Server {
  public:
   explicit Server(ServeConfig config = {});
 
-  /// Reads JSONL requests from `in` until EOF or a `quit` command, writing
-  /// one response line per request to `out` (flushed per batch).  Returns
-  /// the number of requests served.  Blank lines are ignored.
+  /// Accepts connections from `transport` and serves each on its own
+  /// thread until a `quit` command or `transport.shutdown()`, then drains.
+  /// Returns the total number of responses written.
+  std::uint64_t serve(Transport& transport);
+
+  /// Single-session convenience over the historical stream pair: reads
+  /// JSONL requests from `in` until EOF or `quit`, writing one response
+  /// line per request to `out` (flushed per batch).  Blank lines are
+  /// ignored.
   std::uint64_t serve(std::istream& in, std::ostream& out);
 
-  const FlowCache& cache() const { return cache_; }
-  FlowCache& cache() { return cache_; }
-  ServeCounters counters() const { return counters_; }
+  /// The shared two-tier cache (tier 0 = memory, tier 1 = disk when
+  /// configured).
+  const TieredCache& cache() const { return cache_; }
+  TieredCache& cache() { return cache_; }
+  /// The disk tier, or nullptr when no `cache_dir` was configured.
+  const DiskCache* disk_tier() const { return disk_tier_; }
+
+  ServeCounters counters() const;
 
   /// One-line human summary of the session (requests, hit rate, bytes) for
   /// the CLI's stderr epilogue.
@@ -81,16 +126,29 @@ class Server {
 
  private:
   struct Job;
+  struct SessionState;
 
-  Job parse_request(const std::string& line, std::uint64_t seq);
-  void process_batch(std::vector<Job>& batch);
-  void write_response(std::ostream& out, const Job& job);
+  Job parse_request(const std::string& line, std::uint64_t seq,
+                    AigHasher& hasher) const;
+  void process_batch(t1::FlowEngine& engine, std::vector<Job>& batch);
+  void write_response(Connection& conn, const Job& job);
+  void run_session(Connection& conn, Transport& transport);
 
   ServeConfig config_;
-  FlowCache cache_;
-  t1::FlowEngine engine_;
-  AigHasher hasher_;
-  ServeCounters counters_;
+  TieredCache cache_;
+  FlowCache* memory_tier_ = nullptr;  // borrowed from cache_
+  DiskCache* disk_tier_ = nullptr;    // borrowed from cache_; may be null
+
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> responses_{0};
+  std::atomic<std::uint64_t> errors_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> connections_{0};
+
+  /// Per-config dispatch-latency histograms ("1phi"/"nphi"/"t1"), merged
+  /// across sessions; guarded because sessions record concurrently.
+  mutable std::mutex latency_mu_;
+  std::map<std::string, LatencyHistogram> latency_;
 };
 
 }  // namespace t1map::serve

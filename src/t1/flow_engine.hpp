@@ -243,11 +243,34 @@ struct RunKey {
   friend bool operator==(const RunKey&, const RunKey&) = default;
 };
 
+/// Point-in-time counter snapshot of a `RunCache` implementation.  Every
+/// concrete cache (in-memory, disk, tiered composition) reports through
+/// this one struct, so callers — the serve `stats` command, the CLI
+/// summary line — never reach for implementation-specific counters.
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;  // incl. capacity-rejected admissions
+  std::uint64_t entries = 0;    // resident entries
+  std::uint64_t bytes = 0;      // resident (or on-log) bytes
+
+  CacheStats& operator+=(const CacheStats& other) {
+    hits += other.hits;
+    misses += other.misses;
+    insertions += other.insertions;
+    evictions += other.evictions;
+    entries += other.entries;
+    bytes += other.bytes;
+    return *this;
+  }
+};
+
 /// Cache interface the cached `run_many` overload consults before
 /// dispatching work.  Implementations must be safe for concurrent callers
-/// (serve::FlowCache is the production one); the engine calls `lookup`
-/// only from the dispatching thread and `store` once per freshly computed
-/// ok-result.
+/// (serve::FlowCache / serve::TieredCache are the production ones): several
+/// engines dispatching against one shared cache — e.g. one per serve
+/// connection — may call `lookup` and `store` simultaneously.
 class RunCache {
  public:
   virtual ~RunCache() = default;
@@ -255,6 +278,9 @@ class RunCache {
   virtual bool lookup(const RunKey& key, EngineResult& out) = 0;
   /// Offers a freshly computed successful result for retention.
   virtual void store(const RunKey& key, const EngineResult& result) = 0;
+  /// Counter snapshot; the default (an empty snapshot) keeps trivial test
+  /// fakes trivial.
+  virtual CacheStats stats() const { return {}; }
 };
 
 /// Platform-stable 64-bit fingerprint of every `FlowParams` field that

@@ -20,50 +20,15 @@
 #include "serve/aig_hash.hpp"
 #include "serve/flow_cache.hpp"
 #include "serve/server.hpp"
+#include "serve_test_util.hpp"
 #include "t1/flow_engine.hpp"
 
 namespace t1map {
 namespace {
 
-// --- Helpers -----------------------------------------------------------------
-
-/// Byte-exact netlist comparison via the canonical BLIF rendering.
-std::string blif_of(const sfq::Netlist& ntk, const std::string& name) {
-  std::ostringstream os;
-  io::write_blif(os, ntk, name);
-  return os.str();
-}
-
-void expect_results_identical(const t1::EngineResult& a,
-                              const t1::EngineResult& b,
-                              const std::string& label) {
-  EXPECT_EQ(a.status, b.status) << label;
-  EXPECT_EQ(a.cec, b.cec) << label;
-  EXPECT_EQ(a.stats.area_jj, b.stats.area_jj) << label;
-  EXPECT_EQ(a.stats.dffs, b.stats.dffs) << label;
-  EXPECT_EQ(a.stats.depth_cycles, b.stats.depth_cycles) << label;
-  EXPECT_EQ(a.stats.num_stages, b.stats.num_stages) << label;
-  EXPECT_EQ(a.stats.logic_cells, b.stats.logic_cells) << label;
-  EXPECT_EQ(a.stats.splitters, b.stats.splitters) << label;
-  EXPECT_EQ(a.stats.t1_found, b.stats.t1_found) << label;
-  EXPECT_EQ(a.stats.t1_used, b.stats.t1_used) << label;
-  ASSERT_EQ(a.has_materialized, b.has_materialized) << label;
-  EXPECT_EQ(blif_of(a.mapped, "mapped"), blif_of(b.mapped, "mapped"))
-      << label;
-  if (a.has_materialized) {
-    EXPECT_EQ(blif_of(a.materialized.netlist, "mat"),
-              blif_of(b.materialized.netlist, "mat"))
-        << label;
-    EXPECT_EQ(a.materialized.stages.sigma, b.materialized.stages.sigma)
-        << label;
-  }
-}
-
-t1::RunKey key_of(const Aig& aig, const t1::FlowParams& params) {
-  const serve::Digest d = serve::hash_aig(aig);
-  const std::uint64_t fp = t1::params_fingerprint(params);
-  return t1::RunKey{d.hi ^ fp, d.lo ^ (fp * 0x9E3779B97F4A7C15ull)};
-}
+using testutil::blif_of;
+using testutil::expect_results_identical;
+using testutil::key_of;
 
 // --- AigHasher ---------------------------------------------------------------
 
@@ -249,7 +214,7 @@ TEST(FlowCache, HitIsBitIdenticalToColdRun) {
     EXPECT_EQ(warm.times.map, 0.0) << label;
     EXPECT_EQ(warm.times.cec, 0.0) << label;
   }
-  const serve::CacheCounters c = cache.counters();
+  const t1::CacheStats c = cache.stats();
   EXPECT_EQ(c.insertions, golden_rows().size());
   EXPECT_EQ(c.hits, golden_rows().size());
   EXPECT_EQ(c.misses, golden_rows().size());
@@ -283,14 +248,14 @@ TEST(FlowCache, EvictsLruUnderByteBudget) {
 
   cache.store(keys[0], results[0]);
   cache.store(keys[1], results[1]);
-  EXPECT_EQ(cache.counters().entries, 2u);
+  EXPECT_EQ(cache.stats().entries, 2u);
 
   // Touch [0] so [1] is the LRU victim when [2] arrives.
   t1::EngineResult out;
   ASSERT_TRUE(cache.lookup(keys[0], out));
   cache.store(keys[2], results[2]);
 
-  const serve::CacheCounters c = cache.counters();
+  const t1::CacheStats c = cache.stats();
   EXPECT_EQ(c.evictions, 1u);
   EXPECT_EQ(c.entries, 2u);
   EXPECT_LE(c.bytes, config.max_bytes);
@@ -299,8 +264,8 @@ TEST(FlowCache, EvictsLruUnderByteBudget) {
   EXPECT_TRUE(cache.lookup(keys[2], out));
 
   cache.clear();
-  EXPECT_EQ(cache.counters().entries, 0u);
-  EXPECT_EQ(cache.counters().bytes, 0u);
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().bytes, 0u);
   EXPECT_FALSE(cache.lookup(keys[0], out));
 }
 
@@ -312,7 +277,7 @@ TEST(FlowCache, NeverStoresFailedRuns) {
   cache.store(key, failed);
   t1::EngineResult out;
   EXPECT_FALSE(cache.lookup(key, out));
-  EXPECT_EQ(cache.counters().insertions, 0u);
+  EXPECT_EQ(cache.stats().insertions, 0u);
 }
 
 TEST(FlowCache, ConcurrentHitMissHammering) {
@@ -356,7 +321,7 @@ TEST(FlowCache, ConcurrentHitMissHammering) {
   for (std::thread& t : threads) t.join();
   for (const int m : mismatches) EXPECT_EQ(m, 0);
 
-  const serve::CacheCounters c = cache.counters();
+  const t1::CacheStats c = cache.stats();
   EXPECT_EQ(c.hits + c.misses,
             static_cast<std::uint64_t>(kThreads) * kIters);
   EXPECT_GT(c.hits, 0u);
@@ -386,7 +351,7 @@ TEST(RunManyCached, HitsDuplicatesAndDeterminism) {
       engine.run_many(batch, params, 2, &cache, keys, &cached);
   ASSERT_EQ(first.size(), 3u);
   EXPECT_EQ(cached, (std::vector<std::uint8_t>{0, 0, 1}));
-  EXPECT_EQ(cache.counters().insertions, 2u);  // duplicate stored once
+  EXPECT_EQ(cache.stats().insertions, 2u);  // duplicate stored once
   for (std::size_t i = 0; i < first.size(); ++i) {
     expect_results_identical(reference[i], first[i],
                              "first pass " + std::to_string(i));
@@ -425,20 +390,26 @@ std::vector<std::string> serve_script(const std::string& script,
 }
 
 /// Canonicalizes a response for cross-session comparison: parses and
-/// re-dumps it without the (timing) "ms" member.
-std::string strip_ms(const std::string& line) {
-  const io::Json parsed = io::Json::parse(line);
+/// re-dumps it without the timing members ("ms" on job responses, the
+/// "latency" histograms inside a stats response) at any nesting level.
+io::Json strip_timing(const io::Json& value) {
+  if (!value.is_object()) return value;
   io::Json cleaned = io::Json::object();
-  for (const auto& [key, value] : parsed.members()) {
-    if (key != "ms") cleaned.set(key, value);
+  for (const auto& [key, member] : value.members()) {
+    if (key == "ms" || key == "latency") continue;
+    cleaned.set(key, strip_timing(member));
   }
-  return cleaned.dump(-1);
+  return cleaned;
+}
+
+std::string strip_ms(const std::string& line) {
+  return strip_timing(io::Json::parse(line)).dump(-1);
 }
 
 serve::ServeConfig fast_config() {
   serve::ServeConfig config;
-  config.default_verify_rounds = 0;
-  config.default_cec = false;  // SAT time is not what these tests test
+  config.defaults.verify_rounds = 0;
+  config.defaults.cec = false;  // SAT time is not what these tests test
   return config;
 }
 
