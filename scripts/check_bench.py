@@ -64,13 +64,18 @@ def main() -> int:
     # estimated as the median over *per-stage-kind* median ratios: each
     # stage kind gets one vote, so the dominant kind (cec rows, typically
     # most of the above-floor samples) cannot drag the estimate with it
-    # when it alone regresses.  'total' rows are composites of the other
-    # stages and get no vote at all — they'd double-count their dominant
-    # constituent.  A uniform slowdown still shifts every kind equally and
-    # cancels; a single-stage regression shifts only its own vote.
+    # when it alone regresses.  'total'/'total_cpu' rows are composites of
+    # the other stages and get no vote at all — they'd double-count their
+    # dominant constituent.  Threaded scaling entries (NAME@tN from
+    # --bench-threads) are excluded too: their wall times depend on how
+    # many cores the runner actually has, which is a host property like
+    # machine speed but per-entry, so they are gated but must not steer
+    # the normalization.  A uniform slowdown still shifts every kind
+    # equally and cancels; a single-stage regression shifts only its own
+    # vote.
     by_kind = {}
-    for _, stage, base, now in rows:
-        if stage != "total":
+    for name, stage, base, now in rows:
+        if not stage.startswith("total") and "@t" not in name:
             by_kind.setdefault(stage, []).append(now / base)
     if by_kind:
         speed = statistics.median(

@@ -89,6 +89,8 @@ Options parse_options(int argc, const char* const* argv) {
       opts.run_cec = false;
     } else if (arg == "--threads") {
       opts.threads = parse_int(arg, value_of(i), 1, 256);
+    } else if (arg == "--sat-portfolio") {
+      opts.sat_portfolio = true;
     } else if (arg == "--skip-checks") {
       opts.skip_checks = true;
     } else if (arg == "--passes") {
@@ -110,6 +112,18 @@ Options parse_options(int argc, const char* const* argv) {
     } else if (arg == "--bench-out") {
       bench_only_flag = arg;
       opts.bench_out = value_of(i);
+    } else if (arg == "--bench-threads") {
+      bench_only_flag = arg;
+      const std::string list = value_of(i);
+      opts.bench_threads.clear();
+      std::size_t begin = 0;
+      while (begin <= list.size()) {
+        std::size_t end = list.find(',', begin);
+        if (end == std::string::npos) end = list.size();
+        opts.bench_threads.push_back(
+            parse_int(arg, list.substr(begin, end - begin), 1, 256));
+        begin = end + 1;
+      }
     } else if (arg == "--serve") {
       opts.serve = true;
     } else if (arg == "--cache-mb") {
@@ -194,6 +208,10 @@ Options parse_options(int argc, const char* const* argv) {
       throw UsageError("--json/--paper/--out-blif/--out-dot do not apply to "
                        "--serve (responses are always JSONL on stdout)");
     }
+    if (opts.sat_portfolio) {
+      throw UsageError("--sat-portfolio tunes report/bench CEC runs; serve "
+                       "jobs carry their own check configuration");
+    }
     if (opts.phases < 3) {
       throw UsageError("--serve defaults jobs to the t1 configuration and "
                        "needs --phases >= 3");
@@ -274,7 +292,15 @@ std::string usage() {
       "  --verify-rounds N           random-sim self-check rounds (default 8)\n"
       "  --threads N                 worker threads: report mode runs the\n"
       "                              configurations in parallel, bench mode\n"
-      "                              adds a batched run_many measurement\n"
+      "                              adds a batched run_many measurement.\n"
+      "                              Threads left over after one per netlist\n"
+      "                              spill into the passes (parallel mapping\n"
+      "                              and per-output CEC); results are\n"
+      "                              identical at every thread count\n"
+      "  --sat-portfolio             race two solver configurations on CEC\n"
+      "                              outputs that resist a lone proof\n"
+      "                              (needs spare intra-pass workers;\n"
+      "                              verdicts are unchanged)\n"
       "  --skip-checks               drop the verification passes (timing,\n"
       "                              random-sim, CEC) from the pipeline\n"
       "  --passes LIST               explicit pass pipeline, comma-separated\n"
@@ -291,6 +317,11 @@ std::string usage() {
       "                              long-chain adder256/cordic32/log2_16)\n"
       "  --bench-out FILE            bench output path ('-' = stdout;\n"
       "                              default BENCH_flow.json)\n"
+      "  --bench-threads LIST        comma-separated thread counts (e.g.\n"
+      "                              1,2,4): re-times each circuit with the\n"
+      "                              whole budget inside the passes and\n"
+      "                              emits NAME@tN scaling entries with\n"
+      "                              wall vs. CPU totals\n"
       "  --serve                     serve JSONL mapping requests (one JSON\n"
       "                              object per line; responses on stdout in\n"
       "                              request order; see README \"Serving\n"

@@ -1,53 +1,279 @@
 #include "sat/cec.hpp"
 
+#include <algorithm>
+#include <atomic>
+#include <functional>
+#include <limits>
+
 #include "sat/cnf.hpp"
 
 namespace t1map::sat {
 
 namespace {
 
-/// Proves the miter output pair by output pair, sharing one CNF and all
-/// learned clauses: each pair's difference literal is assumed true and
-/// refuted incrementally.  This keeps every sub-proof inside the cone of
-/// one output instead of attacking the disjunction of all differences.
-CecResult solve_miter(Solver& solver, std::uint32_t num_pis,
-                      std::span<const Lit> pi_lits,
-                      std::span<const Lit> out_a, std::span<const Lit> out_b,
-                      std::int64_t conflict_limit) {
+/// An encoded miter: shared PI literals plus one XOR difference literal per
+/// output pair.  Encoding is deterministic, so re-encoding into another
+/// solver yields identical literal numbering.
+struct Miter {
+  std::vector<Lit> pis;
+  std::vector<Lit> diffs;
+};
+
+/// Re-runnable encoder: resets the target solver and builds the miter CNF.
+/// This is what lets every pool worker (and the canonical re-solve) own a
+/// private copy of the same formula.
+using MiterEncoder = std::function<Miter(Solver&)>;
+
+std::vector<Lit> make_diffs(Solver& solver, std::span<const Lit> out_a,
+                            std::span<const Lit> out_b) {
   T1MAP_REQUIRE(out_a.size() == out_b.size(), "miter: PO count mismatch");
   std::vector<Lit> diffs;
+  diffs.reserve(out_a.size());
   for (std::size_t i = 0; i < out_a.size(); ++i) {
     const Lit d = fresh_lit(solver);
     encode_xor2(solver, d, out_a[i], out_b[i]);
     diffs.push_back(d);
   }
+  return diffs;
+}
 
-  const std::int64_t before = solver.num_conflicts();
+/// Conflicts a lone proof may consume before portfolio mode declares the
+/// output "hard" and races two configurations on it.
+constexpr std::int64_t kPortfolioTrigger = 20000;
+
+/// Distinguishing input assignment for pair `target`, re-derived on a fresh
+/// default-configured solver.  Which *model* a SAT solver returns depends
+/// on its entire search history; routing every counterexample through this
+/// one deterministic solve makes it identical across worker counts,
+/// portfolio configurations, and the serial path.
+std::vector<bool> canonical_counterexample(const MiterEncoder& encode,
+                                           std::size_t target) {
+  Solver solver;
+  const Miter m = encode(solver);
+  const Lit assumption[1] = {m.diffs[target]};
+  const Solver::Result r = solver.solve(assumption);
+  T1MAP_REQUIRE(r == Solver::Result::kSat,
+                "CEC: counterexample re-solve did not reproduce SAT");
+  std::vector<bool> cex;
+  cex.reserve(m.pis.size());
+  for (const Lit p : m.pis) cex.push_back(solver.model_value(lit_var(p)));
+  return cex;
+}
+
+/// Serial refutation on the caller's solver, sharing one CNF and all
+/// learned clauses incrementally.  The conflict budget is a single shared
+/// countdown over the whole check: each pair solves under whatever is left,
+/// and the pair that exhausts it is reported in `failing_output` (the old
+/// per-pair `remaining` recomputation could clamp a mid-proof overrun to
+/// zero and silently blame the *next* pair).
+CecResult solve_serial(Solver& solver, const Miter& m,
+                       std::int64_t conflict_limit,
+                       const MiterEncoder& encode) {
   CecResult result;
   result.verdict = CecResult::Verdict::kEquivalent;
-  for (const Lit d : diffs) {
-    const std::int64_t remaining =
-        conflict_limit < 0
-            ? -1
-            : std::max<std::int64_t>(
-                  0, conflict_limit - (solver.num_conflicts() - before));
-    const Lit assumption[1] = {d};
-    const Solver::Result r = solver.solve(assumption, remaining);
+  std::int64_t budget = conflict_limit;  // < 0: unlimited
+  const std::int64_t before_all = solver.num_conflicts();
+  for (std::size_t i = 0; i < m.diffs.size(); ++i) {
+    const Lit assumption[1] = {m.diffs[i]};
+    const std::int64_t before = solver.num_conflicts();
+    const Solver::Result r =
+        solver.solve(assumption, budget < 0 ? -1 : budget);
+    if (budget >= 0) {
+      budget = std::max<std::int64_t>(
+          0, budget - (solver.num_conflicts() - before));
+    }
     if (r == Solver::Result::kUnsat) continue;  // this pair is equivalent
+    result.failing_output = static_cast<std::int32_t>(i);
     if (r == Solver::Result::kSat) {
       result.verdict = CecResult::Verdict::kNotEquivalent;
-      result.counterexample.reserve(num_pis);
-      for (std::uint32_t i = 0; i < num_pis; ++i) {
-        result.counterexample.push_back(
-            solver.model_value(lit_var(pi_lits[i])));
-      }
+      result.counterexample = canonical_counterexample(encode, i);
     } else {
       result.verdict = CecResult::Verdict::kUnknown;
     }
     break;
   }
-  result.conflicts = solver.num_conflicts() - before;
+  result.conflicts = solver.num_conflicts() - before_all;
   return result;
+}
+
+/// How each output pair ended in the parallel pass.
+enum class PairOutcome : std::uint8_t {
+  kUnsolved,   // never claimed (should not survive the dispatch loop)
+  kUnsat,      // proven equivalent
+  kSat,        // counterexample exists
+  kHard,       // portfolio phase 1 hit the trigger; phase 2 decides it
+  kCancelled,  // abandoned because a lower-index pair is SAT
+};
+
+/// Parallel per-output refutation (unlimited budget only — see CecOptions).
+///
+/// Determinism argument: whether one pair is SAT or UNSAT is a property of
+/// the formula, independent of solver state, so per-pair verdicts never
+/// depend on the schedule.  Cancellation fires only for pairs *above* the
+/// lowest SAT index found so far (`best_sat` monotonically decreases to the
+/// minimum SAT index), so every pair below the final minimum completes with
+/// kUnsat and the first non-UNSAT pair in index order — the reported one —
+/// is schedule-independent.  The counterexample goes through the canonical
+/// re-solve.
+CecResult solve_parallel(const MiterEncoder& encode, std::size_t num_pairs,
+                         Solver& main_solver, const CecOptions& options) {
+  WorkerPool& pool = *options.pool;
+  const int active =
+      std::min<int>(pool.num_workers(), static_cast<int>(num_pairs));
+  const bool portfolio = options.portfolio && pool.num_workers() >= 2;
+  if (options.worker_solvers != nullptr &&
+      options.worker_solvers->size() < static_cast<std::size_t>(active - 1)) {
+    options.worker_solvers->resize(static_cast<std::size_t>(active - 1));
+  }
+
+  std::vector<PairOutcome> outcome(num_pairs, PairOutcome::kUnsolved);
+  std::atomic<std::size_t> next{0};
+  // Lowest output index proven SAT so far; doubles as the cancel token
+  // (worker on pair i cancels when best_sat < i).
+  std::atomic<std::int64_t> best_sat{
+      std::numeric_limits<std::int64_t>::max()};
+  std::atomic<std::int64_t> total_conflicts{0};
+
+  pool.run([&](int w) {
+    if (w >= active) return;
+    Solver local;
+    Solver& solver =
+        w == 0 ? main_solver
+               : (options.worker_solvers != nullptr
+                      ? (*options.worker_solvers)[static_cast<std::size_t>(
+                            w - 1)]
+                      : local);
+    const Miter m = encode(solver);
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= num_pairs) break;
+      const auto idx = static_cast<std::int64_t>(i);
+      if (best_sat.load(std::memory_order_relaxed) < idx) {
+        outcome[i] = PairOutcome::kCancelled;
+        continue;
+      }
+      solver.set_cancel(&best_sat, idx);
+      const Lit assumption[1] = {m.diffs[i]};
+      const std::int64_t before = solver.num_conflicts();
+      const Solver::Result r =
+          solver.solve(assumption, portfolio ? kPortfolioTrigger : -1);
+      solver.set_cancel(nullptr);
+      total_conflicts.fetch_add(solver.num_conflicts() - before,
+                                std::memory_order_relaxed);
+      if (r == Solver::Result::kUnsat) {
+        outcome[i] = PairOutcome::kUnsat;
+      } else if (r == Solver::Result::kSat) {
+        outcome[i] = PairOutcome::kSat;
+        std::int64_t cur = best_sat.load(std::memory_order_relaxed);
+        while (idx < cur && !best_sat.compare_exchange_weak(
+                                cur, idx, std::memory_order_relaxed)) {
+        }
+      } else if (best_sat.load(std::memory_order_relaxed) < idx) {
+        outcome[i] = PairOutcome::kCancelled;
+      } else {
+        outcome[i] = PairOutcome::kHard;  // portfolio trigger reached
+      }
+    }
+  });
+
+  // Portfolio phase 2: race two configurations on each hard pair, lowest
+  // index first, cancelling the loser.  SAT/UNSAT is configuration-
+  // independent, so the verdict does not depend on which racer wins.  The
+  // races run one pair at a time; a SAT result cancels all later pairs.
+  if (portfolio) {
+    std::vector<std::size_t> hard;
+    for (std::size_t i = 0; i < num_pairs; ++i) {
+      if (outcome[i] == PairOutcome::kHard) hard.push_back(i);
+    }
+    for (const std::size_t i : hard) {
+      if (best_sat.load(std::memory_order_relaxed) <
+          static_cast<std::int64_t>(i)) {
+        outcome[i] = PairOutcome::kCancelled;
+        continue;
+      }
+      std::atomic<std::int64_t> race_token{1};  // winner stores 0
+      std::atomic<int> winner{-1};
+      Solver::Result race_result[2] = {Solver::Result::kUnknown,
+                                       Solver::Result::kUnknown};
+      pool.run([&](int w) {
+        if (w >= 2) return;
+        Solver local;
+        Solver& solver =
+            w == 0 ? main_solver
+                   : (options.worker_solvers != nullptr &&
+                              !options.worker_solvers->empty()
+                          ? (*options.worker_solvers)[0]
+                          : local);
+        SolverConfig cfg;
+        if (w == 1) {
+          cfg.default_phase_true = true;
+          cfg.order_seed = 0x9E3779B9u;
+        }
+        solver.set_config(cfg);
+        const Miter m = encode(solver);
+        solver.set_cancel(&race_token, 1);
+        const Lit assumption[1] = {m.diffs[i]};
+        const std::int64_t before = solver.num_conflicts();
+        const Solver::Result r = solver.solve(assumption);
+        solver.set_cancel(nullptr);
+        solver.set_config(SolverConfig{});
+        total_conflicts.fetch_add(solver.num_conflicts() - before,
+                                  std::memory_order_relaxed);
+        if (r == Solver::Result::kUnknown) return;  // cancelled: lost
+        int expected = -1;
+        if (winner.compare_exchange_strong(expected, w)) {
+          race_result[w] = r;
+          race_token.store(0, std::memory_order_relaxed);
+        }
+      });
+      const int win = winner.load();
+      T1MAP_REQUIRE(win >= 0, "CEC portfolio: race ended with no winner");
+      if (race_result[win] == Solver::Result::kSat) {
+        outcome[i] = PairOutcome::kSat;
+        std::int64_t cur = best_sat.load(std::memory_order_relaxed);
+        const auto idx = static_cast<std::int64_t>(i);
+        while (idx < cur && !best_sat.compare_exchange_weak(
+                                cur, idx, std::memory_order_relaxed)) {
+        }
+      } else {
+        outcome[i] = PairOutcome::kUnsat;
+      }
+    }
+  }
+
+  // Deterministic reduction: the verdict is the first non-UNSAT pair in
+  // index order.  Cancelled pairs can only sit above a SAT pair, so they
+  // are never the first non-UNSAT entry.
+  CecResult result;
+  result.verdict = CecResult::Verdict::kEquivalent;
+  result.conflicts = total_conflicts.load();
+  for (std::size_t i = 0; i < num_pairs; ++i) {
+    if (outcome[i] == PairOutcome::kUnsat) continue;
+    result.failing_output = static_cast<std::int32_t>(i);
+    if (outcome[i] == PairOutcome::kSat) {
+      result.verdict = CecResult::Verdict::kNotEquivalent;
+      result.counterexample = canonical_counterexample(encode, i);
+    } else {
+      result.verdict = CecResult::Verdict::kUnknown;
+    }
+    break;
+  }
+  return result;
+}
+
+CecResult solve_miter(const MiterEncoder& encode, std::size_t num_pairs,
+                      Solver& main_solver, const CecOptions& options) {
+  // A finite conflict budget forces the serial path: with workers racing a
+  // shared countdown, *which* output exhausts it would depend on the
+  // schedule.  Budgeted checks are about bounding work, not speed.
+  const bool parallel = options.pool != nullptr &&
+                        options.pool->num_workers() > 1 &&
+                        options.conflict_limit < 0 && num_pairs >= 2;
+  if (parallel) {
+    return solve_parallel(encode, num_pairs, main_solver, options);
+  }
+  const Miter m = encode(main_solver);
+  return solve_serial(main_solver, m, options.conflict_limit, encode);
 }
 
 }  // namespace
@@ -116,36 +342,58 @@ CecResult check_equivalence(const Aig& aig, const sfq::Netlist& ntk,
 
 CecResult check_equivalence(const Aig& aig, const sfq::Netlist& ntk,
                             std::int64_t conflict_limit, Solver& solver) {
+  CecOptions options;
+  options.conflict_limit = conflict_limit;
+  return check_equivalence(aig, ntk, options, solver);
+}
+
+CecResult check_equivalence(const Aig& aig, const sfq::Netlist& ntk,
+                            const CecOptions& options, Solver& solver) {
   T1MAP_REQUIRE(aig.num_pis() == ntk.num_pis(), "CEC: PI count mismatch");
-  solver.reset();
-  // Rough CNF size hint: one variable per node plus ~a dozen literals each
-  // (3 ternary clauses per AND, up to 2^3 rows per mapped cell).
-  const std::size_t nodes = aig.num_nodes() + ntk.num_nodes();
-  solver.reserve(static_cast<int>(nodes + aig.num_pos() + 1), 12 * nodes);
-  std::vector<Lit> pis;
-  for (std::uint32_t i = 0; i < aig.num_pis(); ++i) {
-    pis.push_back(fresh_lit(solver));
-  }
-  const AigCnf cnf = encode_aig(solver, aig, pis);
-  const std::vector<Lit> ntk_pos = encode_netlist(solver, ntk, pis);
-  return solve_miter(solver, aig.num_pis(), pis, cnf.po_lits, ntk_pos,
-                     conflict_limit);
+  const MiterEncoder encode = [&aig, &ntk](Solver& s) {
+    s.reset();
+    // Rough CNF size hint: one variable per node plus ~a dozen literals
+    // each (3 ternary clauses per AND, up to 2^3 rows per mapped cell).
+    const std::size_t nodes = aig.num_nodes() + ntk.num_nodes();
+    s.reserve(static_cast<int>(nodes + aig.num_pos() + 1), 12 * nodes);
+    Miter m;
+    for (std::uint32_t i = 0; i < aig.num_pis(); ++i) {
+      m.pis.push_back(fresh_lit(s));
+    }
+    const AigCnf cnf = encode_aig(s, aig, m.pis);
+    const std::vector<Lit> ntk_pos = encode_netlist(s, ntk, m.pis);
+    m.diffs = make_diffs(s, cnf.po_lits, ntk_pos);
+    return m;
+  };
+  return solve_miter(encode, aig.num_pos(), solver, options);
 }
 
 CecResult check_equivalence(const Aig& a, const Aig& b,
                             std::int64_t conflict_limit) {
-  T1MAP_REQUIRE(a.num_pis() == b.num_pis(), "CEC: PI count mismatch");
   Solver solver;
-  const std::size_t nodes = a.num_nodes() + b.num_nodes();
-  solver.reserve(static_cast<int>(nodes + a.num_pos() + 1), 12 * nodes);
-  std::vector<Lit> pis;
-  for (std::uint32_t i = 0; i < a.num_pis(); ++i) {
-    pis.push_back(fresh_lit(solver));
-  }
-  const AigCnf cnf_a = encode_aig(solver, a, pis);
-  const AigCnf cnf_b = encode_aig(solver, b, pis);
-  return solve_miter(solver, a.num_pis(), pis, cnf_a.po_lits, cnf_b.po_lits,
-                     conflict_limit);
+  CecOptions options;
+  options.conflict_limit = conflict_limit;
+  return check_equivalence(a, b, options, solver);
+}
+
+CecResult check_equivalence(const Aig& a, const Aig& b,
+                            const CecOptions& options, Solver& solver) {
+  T1MAP_REQUIRE(a.num_pis() == b.num_pis(), "CEC: PI count mismatch");
+  T1MAP_REQUIRE(a.num_pos() == b.num_pos(), "CEC: PO count mismatch");
+  const MiterEncoder encode = [&a, &b](Solver& s) {
+    s.reset();
+    const std::size_t nodes = a.num_nodes() + b.num_nodes();
+    s.reserve(static_cast<int>(nodes + a.num_pos() + 1), 12 * nodes);
+    Miter m;
+    for (std::uint32_t i = 0; i < a.num_pis(); ++i) {
+      m.pis.push_back(fresh_lit(s));
+    }
+    const AigCnf cnf_a = encode_aig(s, a, m.pis);
+    const AigCnf cnf_b = encode_aig(s, b, m.pis);
+    m.diffs = make_diffs(s, cnf_a.po_lits, cnf_b.po_lits);
+    return m;
+  };
+  return solve_miter(encode, a.num_pos(), solver, options);
 }
 
 }  // namespace t1map::sat

@@ -5,6 +5,13 @@
 /// CDCL solver whether any output pair can differ.  UNSAT proves
 /// equivalence.  This complements random simulation: the flow's tests run
 /// both on every transformation.
+///
+/// The miter is refuted output pair by output pair, which makes the check
+/// parallel over outputs: with a `WorkerPool`, each worker re-encodes the
+/// CNF into its own solver and claims pairs from a shared queue, with the
+/// remaining proofs cancelled once a counterexample is found.  Verdicts,
+/// the failing output index, and the counterexample are bit-for-bit
+/// independent of the worker count (see `CecOptions`).
 
 #pragma once
 
@@ -12,6 +19,7 @@
 #include <vector>
 
 #include "aig/aig.hpp"
+#include "common/worker_pool.hpp"
 #include "sat/solver.hpp"
 #include "sfq/netlist.hpp"
 
@@ -20,9 +28,37 @@ namespace t1map::sat {
 struct CecResult {
   enum class Verdict { kEquivalent, kNotEquivalent, kUnknown };
   Verdict verdict = Verdict::kUnknown;
-  /// For kNotEquivalent: one distinguishing input assignment (per PI).
+  /// For kNotEquivalent: one distinguishing input assignment (per PI),
+  /// derived from a fresh deterministic re-solve of the failing pair so it
+  /// does not depend on which solver (with whatever learned-clause state)
+  /// discovered the inequivalence.
   std::vector<bool> counterexample;
+  /// The PO index the verdict hinges on: for kNotEquivalent the *lowest*
+  /// differing output; for kUnknown the output whose proof exhausted the
+  /// conflict budget; -1 for kEquivalent.
+  std::int32_t failing_output = -1;
+  /// Total conflicts consumed across all per-output solves.  Informational:
+  /// unlike the verdict fields it may vary with the worker count.
   std::int64_t conflicts = 0;
+};
+
+/// Tuning of one equivalence check.
+struct CecOptions {
+  /// Shared conflict budget across *all* output pairs (a single countdown,
+  /// not per pair); < 0 = unlimited.  A finite budget forces the serial
+  /// path, so which output exhausts it stays deterministic.
+  std::int64_t conflict_limit = -1;
+  /// Workers for per-output parallel solving; null (or a 1-worker pool)
+  /// solves serially on the caller's solver.
+  WorkerPool* pool = nullptr;
+  /// Per-helper solver arenas reused across checks (resized as needed);
+  /// optional — without it, helpers construct local solvers per call.
+  std::vector<Solver>* worker_solvers = nullptr;
+  /// Race two solver configurations (opposite default phase, perturbed
+  /// branch order) on each output whose lone proof exceeds a conflict
+  /// trigger, cancelling the loser.  Needs a pool with >= 2 workers
+  /// (ignored otherwise); verdicts are identical either way.
+  bool portfolio = false;
 };
 
 /// AIG vs. SFQ netlist.  `conflict_limit < 0`: no limit.
@@ -35,9 +71,17 @@ CecResult check_equivalence(const Aig& aig, const sfq::Netlist& ntk,
 CecResult check_equivalence(const Aig& aig, const sfq::Netlist& ntk,
                             std::int64_t conflict_limit, Solver& solver);
 
+/// Fully-optioned AIG-vs-netlist check (solver pool, portfolio, budget).
+CecResult check_equivalence(const Aig& aig, const sfq::Netlist& ntk,
+                            const CecOptions& options, Solver& solver);
+
 /// AIG vs. AIG.
 CecResult check_equivalence(const Aig& a, const Aig& b,
                             std::int64_t conflict_limit = -1);
+
+/// Fully-optioned AIG-vs-AIG check.
+CecResult check_equivalence(const Aig& a, const Aig& b,
+                            const CecOptions& options, Solver& solver);
 
 /// Encodes a netlist into the solver with the given PI literals; returns
 /// one literal per PO.

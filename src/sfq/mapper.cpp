@@ -136,12 +136,21 @@ const std::vector<CellConfig>& match_function(const Tt& tt) {
 }
 
 Netlist map_to_sfq(const Aig& aig, const MapperParams& params,
-                   MapStats* stats, CutWorkspace* workspace) {
+                   MapStats* stats, CutWorkspace* workspace,
+                   const MapParallel& parallel) {
   T1MAP_REQUIRE(params.cuts.k >= 2 && params.cuts.k <= 3,
                 "SFQ mapper supports cut sizes 2 and 3");
   CutWorkspace local_ws;
   CutWorkspace& ws = workspace != nullptr ? *workspace : local_ws;
-  enumerate_cuts_into(aig, params.cuts, ws);
+  const bool level_parallel = parallel.pool != nullptr &&
+                              parallel.pool->num_workers() > 1 &&
+                              parallel.cuts != nullptr;
+  if (level_parallel) {
+    enumerate_cuts_parallel(aig, params.cuts, ws, parallel.pool,
+                            *parallel.cuts);
+  } else {
+    enumerate_cuts_into(aig, params.cuts, ws);
+  }
   const CutSet& cuts = ws.cuts;
   const auto fanout = aig.fanout_counts();
 
@@ -163,10 +172,12 @@ Netlist map_to_sfq(const Aig& aig, const MapperParams& params,
     return arrival[leaf] + (planned_neg[leaf] != want_neg ? not_stage : 0);
   };
 
-  std::vector<std::uint32_t> active;
-  for (std::uint32_t n = 0; n < aig.num_nodes(); ++n) {
-    if (!aig.is_and(n)) continue;
-
+  // The full DP step for one AND node.  Reads arrival/flow/planned_neg only
+  // at the cut leaves — strictly lower topological levels — and writes only
+  // this node's slots, which is what makes whole levels safe to compute
+  // concurrently.  `active` is caller-provided scratch (one per worker).
+  const auto compute_node = [&](std::uint32_t n,
+                                std::vector<std::uint32_t>& active) {
     Choice chosen;
     for (const Cut& cut : cuts[n]) {
       if (cut.is_trivial(n)) continue;
@@ -225,6 +236,37 @@ Netlist map_to_sfq(const Aig& aig, const MapperParams& params,
     arrival[n] = best[n].arrival;
     flow[n] = best[n].flow;
     planned_neg[n] = best[n].config.output_neg;
+  };
+
+  if (level_parallel) {
+    // Level 0 is PIs/constants (no DP state); every level >= 1 is all AND
+    // nodes.  Narrow levels run inline — same rationale as cut enumeration.
+    const LevelSchedule& levels = parallel.cuts->levels;
+    WorkerPool& pool = *parallel.pool;
+    const int num_workers = pool.num_workers();
+    std::vector<std::vector<std::uint32_t>> active_scratch(
+        static_cast<std::size_t>(num_workers));
+    for (std::size_t l = 1; l < levels.num_levels(); ++l) {
+      const std::span<const std::uint32_t> ids = levels.level(l);
+      if (ids.size() < kMinParallelLevelNodes) {
+        for (const std::uint32_t id : ids) {
+          compute_node(id, active_scratch[0]);
+        }
+        continue;
+      }
+      pool.run([&](int w) {
+        const std::size_t begin = ids.size() * w / num_workers;
+        const std::size_t end = ids.size() * (w + 1) / num_workers;
+        for (std::size_t i = begin; i < end; ++i) {
+          compute_node(ids[i], active_scratch[static_cast<std::size_t>(w)]);
+        }
+      });
+    }
+  } else {
+    std::vector<std::uint32_t> active;
+    for (std::uint32_t n = 0; n < aig.num_nodes(); ++n) {
+      if (aig.is_and(n)) compute_node(n, active);
+    }
   }
 
   // --- Cover extraction: mark required nodes from the POs. -----------------

@@ -28,7 +28,32 @@ std::uint64_t absorb(std::uint64_t acc, std::uint64_t value) {
   return mix64(acc ^ value);
 }
 
+/// Restores a scratch's `intra_threads` on scope exit (the sequential
+/// `run_many` paths borrow the engine scratch with a different setting).
+struct IntraThreadsGuard {
+  FlowScratch& scratch;
+  int saved;
+  IntraThreadsGuard(FlowScratch& s, int intra) : scratch(s), saved(s.intra_threads) {
+    scratch.intra_threads = std::max(1, intra);
+  }
+  ~IntraThreadsGuard() { scratch.intra_threads = saved; }
+};
+
 }  // namespace
+
+// --- FlowScratch -------------------------------------------------------------
+
+WorkerPool* FlowScratch::pool() {
+  if (intra_threads <= 1) return nullptr;
+  if (pool_ == nullptr || pool_->num_workers() != intra_threads) {
+    pool_ = std::make_unique<WorkerPool>(intra_threads);
+  }
+  return pool_.get();
+}
+
+std::uint64_t FlowScratch::pool_busy_ns() const {
+  return pool_ != nullptr ? pool_->busy_ns() : 0;
+}
 
 // --- Diagnostics -------------------------------------------------------------
 
@@ -112,9 +137,14 @@ void FlowContext::fail(FlowStatus failure, std::string pass,
 bool MapPass::run(FlowContext& ctx) const {
   T1MAP_REQUIRE(ctx.aig != nullptr, "MapPass: context carries no source AIG");
   sfq::MapStats map_stats;
+  sfq::MapParallel parallel;
+  if (ctx.scratch != nullptr) {
+    parallel.pool = ctx.scratch->pool();
+    parallel.cuts = &ctx.scratch->par_cuts;
+  }
   ctx.mapped = sfq::map_to_sfq(
       *ctx.aig, ctx.params.mapper, &map_stats,
-      ctx.scratch != nullptr ? &ctx.scratch->cuts : nullptr);
+      ctx.scratch != nullptr ? &ctx.scratch->cuts : nullptr, parallel);
   ctx.mapped.check_well_formed();
   ctx.has_mapped = true;
   return true;
@@ -213,9 +243,13 @@ bool SatCecPass::run(FlowContext& ctx) const {
                                     "AIG");
   sat::CecResult result;
   if (ctx.scratch != nullptr) {
+    sat::CecOptions options;
+    options.conflict_limit = ctx.params.cec_conflict_limit;
+    options.pool = ctx.scratch->pool();
+    options.worker_solvers = &ctx.scratch->cec_solvers;
+    options.portfolio = ctx.params.sat_portfolio;
     result = sat::check_equivalence(*ctx.aig, ctx.materialized.netlist,
-                                    ctx.params.cec_conflict_limit,
-                                    ctx.scratch->solver);
+                                    options, ctx.scratch->solver);
   } else {
     result = sat::check_equivalence(*ctx.aig, ctx.materialized.netlist,
                                     ctx.params.cec_conflict_limit);
@@ -358,6 +392,9 @@ std::uint64_t params_fingerprint(const FlowParams& params) {
   h = absorb(h, static_cast<std::uint64_t>(params.mapper.cuts.max_cuts));
   h = absorb(h, static_cast<std::uint64_t>(params.verify_rounds));
   h = absorb(h, static_cast<std::uint64_t>(params.cec_conflict_limit));
+  // Deliberately excluded: `sat_portfolio` — a search-strategy knob that
+  // never changes the mapped netlist, statistics, or verdicts, so results
+  // computed with and without it are cache-interchangeable.
   return h;
 }
 
@@ -393,6 +430,8 @@ EngineResult FlowEngine::run_with(const Pipeline& pipeline, const Aig& aig,
   ctx.params = params;
   ctx.scratch = &scratch;
 
+  const Clock::time_point flow_start = Clock::now();
+  const std::uint64_t busy_before = scratch.pool_busy_ns();
   for (std::size_t i = 0; i < pipeline.size(); ++i) {
     const Pass& pass = pipeline[i];
     const Clock::time_point t0 = Clock::now();
@@ -403,6 +442,13 @@ EngineResult FlowEngine::run_with(const Pipeline& pipeline, const Aig& aig,
       break;
     }
   }
+  // Wall vs. CPU: the helpers' busy time on top of the caller's wall time.
+  // Serial runs report them equal; the `--bench-threads` harness derives
+  // parallel efficiency from the gap.
+  ctx.times.total_wall = seconds_between(flow_start, Clock::now());
+  ctx.times.total_cpu =
+      ctx.times.total_wall +
+      static_cast<double>(scratch.pool_busy_ns() - busy_before) * 1e-9;
 
   EngineResult result;
   result.status = ctx.status;
@@ -420,13 +466,21 @@ EngineResult FlowEngine::run(const Aig& aig, const FlowParams& params) {
   return run_with(pipeline_, aig, params, scratch_);
 }
 
+void FlowEngine::set_threads(int threads) {
+  threads_ = std::max(1, threads);
+  scratch_.intra_threads = threads_;
+}
+
 void for_each_with_scratch(
     std::size_t count, int workers,
-    const std::function<void(std::size_t, FlowScratch&)>& fn) {
+    const std::function<void(std::size_t, FlowScratch&)>& fn,
+    int intra_threads) {
   if (count == 0) return;
   workers = std::clamp(workers, 1, static_cast<int>(count));
+  intra_threads = std::max(1, intra_threads);
   if (workers == 1) {
     FlowScratch scratch;
+    scratch.intra_threads = intra_threads;
     for (std::size_t i = 0; i < count; ++i) fn(i, scratch);
     return;
   }
@@ -439,6 +493,7 @@ void for_each_with_scratch(
   std::exception_ptr first_error;
   const auto worker = [&]() {
     FlowScratch scratch;
+    scratch.intra_threads = intra_threads;
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= count) return;
@@ -468,18 +523,27 @@ std::vector<EngineResult> FlowEngine::run_many(
   std::vector<EngineResult> results(aigs.size());
   if (aigs.empty()) return results;
 
-  if (std::clamp(num_threads, 1, static_cast<int>(aigs.size())) == 1) {
+  // One thread budget, netlists first: the batch takes up to `num_threads`
+  // workers, and whatever the batch cannot absorb spills into the parallel
+  // sections inside each run.
+  const int outer =
+      std::clamp(num_threads, 1, static_cast<int>(aigs.size()));
+  const int intra = std::max(1, num_threads / outer);
+  if (outer == 1) {
     // Sequential runs stay on the engine's own scratch so capacity keeps
     // accumulating across run()/run_many() calls.
+    const IntraThreadsGuard guard(scratch_, intra);
     for (std::size_t i = 0; i < aigs.size(); ++i) {
       results[i] = run_with(pipeline_, *aigs[i], params, scratch_);
     }
     return results;
   }
   for_each_with_scratch(
-      aigs.size(), num_threads, [&](std::size_t i, FlowScratch& scratch) {
+      aigs.size(), num_threads,
+      [&](std::size_t i, FlowScratch& scratch) {
         results[i] = run_with(pipeline_, *aigs[i], params, scratch);
-      });
+      },
+      intra);
   return results;
 }
 
@@ -522,16 +586,22 @@ std::vector<EngineResult> FlowEngine::run_many(
   }
 
   if (!miss.empty()) {
-    if (std::clamp(num_threads, 1, static_cast<int>(miss.size())) == 1) {
+    const int outer =
+        std::clamp(num_threads, 1, static_cast<int>(miss.size()));
+    const int intra = std::max(1, num_threads / outer);
+    if (outer == 1) {
+      const IntraThreadsGuard guard(scratch_, intra);
       for (const std::size_t i : miss) {
         results[i] = run_with(pipeline_, *aigs[i], params, scratch_);
       }
     } else {
       for_each_with_scratch(
-          miss.size(), num_threads, [&](std::size_t m, FlowScratch& scratch) {
+          miss.size(), num_threads,
+          [&](std::size_t m, FlowScratch& scratch) {
             const std::size_t i = miss[m];
             results[i] = run_with(pipeline_, *aigs[i], params, scratch);
-          });
+          },
+          intra);
     }
     // Only ok-results are offered: a failed run carries partial state that
     // must not masquerade as a mapped design on a later hit.

@@ -104,6 +104,21 @@ struct FlowScratch {
   DetectScratch t1_detect;  // T1DetectPass grouping/MFFC flat storage
   sat::Solver solver;       // SatCecPass clause arena
   sfq::SimScratch sim;      // SimEquivPass stimulus buffer
+
+  /// Workers available for parallel sections *inside* passes (level-parallel
+  /// mapping, solver-pool CEC).  1 = serial.  Results are identical at any
+  /// setting; see cut/cut_enum.hpp and sat/cec.hpp for why.
+  int intra_threads = 1;
+  ParallelCutScratch par_cuts;        // MapPass level-parallel buffers
+  std::vector<sat::Solver> cec_solvers;  // SatCecPass per-helper arenas
+
+  /// Lazily (re)built pool of `intra_threads` workers; nullptr when serial.
+  WorkerPool* pool();
+  /// Helper-thread busy nanoseconds accumulated so far (0 when serial).
+  std::uint64_t pool_busy_ns() const;
+
+ private:
+  std::unique_ptr<WorkerPool> pool_;
 };
 
 /// The shared state a pipeline evolves.  Passes read what upstream passes
@@ -297,9 +312,13 @@ std::uint64_t fingerprint_string(std::string_view text);
 /// `FlowScratch` per worker, and rethrows the first worker exception on the
 /// caller.  `fn` must write only index-distinct state.  `FlowEngine::run_many`
 /// and the CLI's parallel configuration runner both sit on this.
+/// `intra_threads` is stamped on every worker's scratch: one `--threads`
+/// budget splits across items first, with the surplus spilled into the
+/// intra-pass parallel sections of each item.
 void for_each_with_scratch(
     std::size_t count, int workers,
-    const std::function<void(std::size_t, FlowScratch&)>& fn);
+    const std::function<void(std::size_t, FlowScratch&)>& fn,
+    int intra_threads = 1);
 
 // --- Pipeline ----------------------------------------------------------------
 
@@ -363,6 +382,13 @@ class FlowEngine {
   const Pipeline& pipeline() const { return pipeline_; }
   void set_pipeline(Pipeline pipeline);
 
+  /// Total worker budget for this engine's runs.  `run` spends all of it on
+  /// intra-pass parallelism; `run_many` splits it across the batch first and
+  /// spills the surplus into passes (`threads / min(threads, batch)` each).
+  /// Results never depend on the setting.
+  void set_threads(int threads);
+  int threads() const { return threads_; }
+
   /// Runs the pipeline on one AIG, reusing this engine's scratch.
   EngineResult run(const Aig& aig, const FlowParams& params = {});
 
@@ -397,6 +423,7 @@ class FlowEngine {
  private:
   Pipeline pipeline_;
   FlowScratch scratch_;
+  int threads_ = 1;
 };
 
 }  // namespace t1map::t1
