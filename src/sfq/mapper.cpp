@@ -165,11 +165,14 @@ Netlist map_to_sfq(const Aig& aig, const MapperParams& params,
   std::vector<Choice> best(aig.num_nodes());
   std::vector<int> arrival(aig.num_nodes(), 0);
   std::vector<double> flow(aig.num_nodes(), 0.0);
-  std::vector<bool> planned_neg(aig.num_nodes(), false);
+  // One byte per node (not vector<bool>): level-parallel workers write
+  // distinct indices concurrently, and packed bits sharing a word would make
+  // those writes racy read-modify-writes.
+  std::vector<std::uint8_t> planned_neg(aig.num_nodes(), 0);
 
   const int not_stage = 1;
   const auto leaf_arrival = [&](std::uint32_t leaf, bool want_neg) {
-    return arrival[leaf] + (planned_neg[leaf] != want_neg ? not_stage : 0);
+    return arrival[leaf] + ((planned_neg[leaf] != 0) != want_neg ? not_stage : 0);
   };
 
   // The full DP step for one AND node.  Reads arrival/flow/planned_neg only
@@ -235,7 +238,7 @@ Netlist map_to_sfq(const Aig& aig, const MapperParams& params,
     best[n] = std::move(chosen);
     arrival[n] = best[n].arrival;
     flow[n] = best[n].flow;
-    planned_neg[n] = best[n].config.output_neg;
+    planned_neg[n] = best[n].config.output_neg ? 1 : 0;
   };
 
   if (level_parallel) {

@@ -431,6 +431,11 @@ EngineResult FlowEngine::run_with(const Pipeline& pipeline, const Aig& aig,
   ctx.scratch = &scratch;
 
   const Clock::time_point flow_start = Clock::now();
+  // Resolve the pool for the current `intra_threads` *before* sampling its
+  // busy counter: a pass-triggered rebuild (thread count changed since the
+  // last run on this scratch) would reset busy_ns to 0 and make the delta
+  // below underflow.
+  scratch.pool();
   const std::uint64_t busy_before = scratch.pool_busy_ns();
   for (std::size_t i = 0; i < pipeline.size(); ++i) {
     const Pass& pass = pipeline[i];
@@ -446,9 +451,11 @@ EngineResult FlowEngine::run_with(const Pipeline& pipeline, const Aig& aig,
   // Serial runs report them equal; the `--bench-threads` harness derives
   // parallel efficiency from the gap.
   ctx.times.total_wall = seconds_between(flow_start, Clock::now());
+  const std::uint64_t busy_after = scratch.pool_busy_ns();
+  const std::uint64_t busy_delta =
+      busy_after >= busy_before ? busy_after - busy_before : busy_after;
   ctx.times.total_cpu =
-      ctx.times.total_wall +
-      static_cast<double>(scratch.pool_busy_ns() - busy_before) * 1e-9;
+      ctx.times.total_wall + static_cast<double>(busy_delta) * 1e-9;
 
   EngineResult result;
   result.status = ctx.status;
