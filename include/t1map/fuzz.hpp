@@ -1,0 +1,8 @@
+/// \file fuzz.hpp
+/// \brief Public surface: seeded random AIG generation and the CEC-oracle
+/// differential flow fuzzer.
+
+#pragma once
+
+#include "fuzz/fuzzer.hpp"
+#include "fuzz/random_aig.hpp"

@@ -1,8 +1,11 @@
 /// \file io.hpp
-/// \brief Public surface: BLIF read/write, DOT export, JSON mini-library.
+/// \brief Public surface: AIGER and BLIF read/write, structural Verilog and
+/// DOT export, JSON mini-library.
 
 #pragma once
 
+#include "io/aiger.hpp"
 #include "io/blif.hpp"
 #include "io/dot.hpp"
 #include "io/json.hpp"
+#include "io/verilog.hpp"

@@ -1,0 +1,15 @@
+/// \file fuzz_cmd.hpp
+/// \brief The `t1map --fuzz` entry point.
+
+#pragma once
+
+#include "cli/options.hpp"
+
+namespace t1map::cli {
+
+/// Runs the differential fuzzer per `opts` and prints a summary.  Returns
+/// 0 when every iteration passed, 1 when any failure was found (repro
+/// files are in opts.fuzz_dir by then).
+int run_fuzz_cmd(const Options& opts);
+
+}  // namespace t1map::cli

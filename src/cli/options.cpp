@@ -60,6 +60,7 @@ Options parse_options(int argc, const char* const* argv) {
   // "needs --serve" diagnostics.
   std::string bench_only_flag;
   std::string serve_only_flag;
+  std::string fuzz_only_flag;
 
   const auto value_of = [&](std::size_t& i) -> std::string {
     if (i + 1 >= args.size()) {
@@ -74,6 +75,11 @@ Options parse_options(int argc, const char* const* argv) {
       opts.gen_name = value_of(i);
     } else if (arg == "--blif") {
       opts.blif_path = value_of(i);
+    } else if (arg == "--input") {
+      opts.input_path = value_of(i);
+      if (opts.input_path.empty()) {
+        throw UsageError("--input expects a file path ('-' = stdin)");
+      }
     } else if (arg == "--config") {
       opts.config = value_of(i);
       if (opts.config != "all" && opts.config != "1phi" &&
@@ -153,12 +159,31 @@ Options parse_options(int argc, const char* const* argv) {
     } else if (arg == "--serve-idle") {
       serve_only_flag = arg;
       opts.serve_idle_ms = parse_int(arg, value_of(i), 0, 1 << 30);
+    } else if (arg == "--fuzz") {
+      opts.fuzz = parse_int(arg, value_of(i), 1, 1 << 20);
+    } else if (arg == "--fuzz-seed") {
+      fuzz_only_flag = arg;
+      opts.fuzz_seed = static_cast<std::uint64_t>(
+          parse_int(arg, value_of(i), 0, 1 << 30));
+    } else if (arg == "--fuzz-dir") {
+      fuzz_only_flag = arg;
+      opts.fuzz_dir = value_of(i);
+      if (opts.fuzz_dir.empty()) {
+        throw UsageError("--fuzz-dir expects a directory path");
+      }
+    } else if (arg == "--fuzz-nodes") {
+      fuzz_only_flag = arg;
+      opts.fuzz_nodes = parse_int(arg, value_of(i), 5, 1 << 16);
     } else if (arg == "--json") {
       opts.json = true;
     } else if (arg == "--out-blif") {
       opts.out_blif = value_of(i);
     } else if (arg == "--out-dot") {
       opts.out_dot = value_of(i);
+    } else if (arg == "--export-aiger") {
+      opts.out_aiger = value_of(i);
+    } else if (arg == "--export-verilog") {
+      opts.out_verilog = value_of(i);
     } else if (arg == "--paper") {
       opts.paper = true;
     } else if (arg == "--list-gens") {
@@ -179,6 +204,40 @@ Options parse_options(int argc, const char* const* argv) {
     throw UsageError(serve_only_flag +
                      " configures the serving loop and needs --serve");
   }
+  if (opts.fuzz == 0 && !fuzz_only_flag.empty()) {
+    throw UsageError(fuzz_only_flag +
+                     " configures the differential fuzzer and needs --fuzz N");
+  }
+  if (opts.fuzz > 0) {
+    if (opts.bench || opts.serve) {
+      throw UsageError("--fuzz is its own run mode; it conflicts with "
+                       "--bench/--serve");
+    }
+    if (!opts.gen_name.empty() || !opts.blif_path.empty() ||
+        !opts.input_path.empty()) {
+      throw UsageError("--fuzz generates its own random circuits; "
+                       "--gen/--blif/--input do not apply");
+    }
+    if (!opts.passes.empty() || opts.skip_checks) {
+      throw UsageError("--fuzz always runs the full differential pipeline; "
+                       "--passes/--skip-checks do not apply");
+    }
+    if (opts.config != "all") {
+      throw UsageError("--fuzz always runs all three configurations; "
+                       "--config " + opts.config + " has no effect there");
+    }
+    if (opts.json || opts.paper || !opts.out_blif.empty() ||
+        !opts.out_dot.empty() || !opts.out_aiger.empty() ||
+        !opts.out_verilog.empty()) {
+      throw UsageError("report/export options do not apply to --fuzz "
+                       "(repro .aag files land in --fuzz-dir)");
+    }
+    if (opts.phases < 3) {
+      throw UsageError("--fuzz runs the t1 configuration and needs "
+                       "--phases >= 3");
+    }
+    return opts;
+  }
   if (opts.skip_checks && !opts.passes.empty()) {
     throw UsageError("--skip-checks and --passes both select the pipeline; "
                      "use one of them");
@@ -190,9 +249,10 @@ Options parse_options(int argc, const char* const* argv) {
     }
     // Serve mode takes its work from the request stream; per-job fields
     // override the CLI defaults (--phases, --verify-rounds, --no-cec).
-    if (!opts.gen_name.empty() || !opts.blif_path.empty()) {
+    if (!opts.gen_name.empty() || !opts.blif_path.empty() ||
+        !opts.input_path.empty()) {
       throw UsageError("--serve reads its circuits from the JSONL request "
-                       "stream; --gen/--blif do not apply");
+                       "stream; --gen/--blif/--input do not apply");
     }
     if (!opts.passes.empty()) {
       throw UsageError("--serve selects pipelines per request config; "
@@ -204,9 +264,10 @@ Options parse_options(int argc, const char* const* argv) {
                        "--config " + opts.config + " has no effect there");
     }
     if (opts.json || opts.paper || !opts.out_blif.empty() ||
-        !opts.out_dot.empty()) {
-      throw UsageError("--json/--paper/--out-blif/--out-dot do not apply to "
-                       "--serve (responses are always JSONL on stdout)");
+        !opts.out_dot.empty() || !opts.out_aiger.empty() ||
+        !opts.out_verilog.empty()) {
+      throw UsageError("--json/--paper and the export options do not apply "
+                       "to --serve (responses are always JSONL on stdout)");
     }
     if (opts.sat_portfolio) {
       throw UsageError("--sat-portfolio tunes report/bench CEC runs; serve "
@@ -234,7 +295,7 @@ Options parse_options(int argc, const char* const* argv) {
     }
     // Bench mode runs a built-in circuit set; --gen narrows it to one
     // circuit, --blif is not supported there.
-    if (!opts.blif_path.empty()) {
+    if (!opts.blif_path.empty() || !opts.input_path.empty()) {
       throw UsageError("--bench works on generated circuits; use --gen NAME "
                        "to bench a single one");
     }
@@ -252,14 +313,19 @@ Options parse_options(int argc, const char* const* argv) {
                        "--config " + opts.config + " has no effect there");
     }
     if (opts.json || opts.paper || !opts.out_blif.empty() ||
-        !opts.out_dot.empty()) {
-      throw UsageError("--json/--paper/--out-blif/--out-dot do not apply to "
-                       "--bench (use --bench-out for the JSON trajectory)");
+        !opts.out_dot.empty() || !opts.out_aiger.empty() ||
+        !opts.out_verilog.empty()) {
+      throw UsageError("--json/--paper and the export options do not apply "
+                       "to --bench (use --bench-out for the JSON trajectory)");
     }
     return opts;
   }
-  if (opts.gen_name.empty() == opts.blif_path.empty()) {
-    throw UsageError("exactly one of --gen NAME or --blif FILE is required");
+  const int num_inputs = (opts.gen_name.empty() ? 0 : 1) +
+                         (opts.blif_path.empty() ? 0 : 1) +
+                         (opts.input_path.empty() ? 0 : 1);
+  if (num_inputs != 1) {
+    throw UsageError(
+        "exactly one of --gen NAME, --blif FILE or --input FILE is required");
   }
   // T1 substitution needs >= 3 phases; fail before any config runs.
   if ((opts.config == "all" || opts.config == "t1") && opts.phases < 3) {
@@ -280,9 +346,12 @@ std::string usage() {
       "reports JJ area, path-balancing DFFs and depth per configuration.\n"
       "\n"
       "Usage:\n"
-      "  t1map --gen NAME  [options]     map a generated benchmark\n"
-      "  t1map --blif FILE [options]     map a BLIF file ('-' = stdin)\n"
-      "  t1map --serve     [options]     cached JSONL serving loop\n"
+      "  t1map --gen NAME   [options]    map a generated benchmark\n"
+      "  t1map --blif FILE  [options]    map a BLIF file ('-' = stdin)\n"
+      "  t1map --input FILE [options]    map an AIGER (.aag/.aig) or BLIF\n"
+      "                                  file, auto-detected ('-' = stdin)\n"
+      "  t1map --serve      [options]    cached JSONL serving loop\n"
+      "  t1map --fuzz N     [options]    differential fuzzing of the flow\n"
       "\n"
       "Options:\n"
       "  --config all|1phi|nphi|t1   configurations to run (default: all)\n"
@@ -345,8 +414,26 @@ std::string usage() {
       "                              (default 5000)\n"
       "  --serve-idle MS             disconnect socket clients idle longer\n"
       "                              than MS (default: never)\n"
+      "  --fuzz N                    run N differential-fuzz iterations:\n"
+      "                              each seeded random AIG goes through all\n"
+      "                              three configurations at 1 and --threads\n"
+      "                              workers with SAT CEC as the oracle,\n"
+      "                              plus AIGER/BLIF round-trip checks;\n"
+      "                              failures are minimized to .aag repros\n"
+      "  --fuzz-seed S               base PRNG seed (default 1); every\n"
+      "                              finding reproduces from (S, N)\n"
+      "  --fuzz-dir DIR              where minimized repro .aag files land\n"
+      "                              (default fuzz-repros)\n"
+      "  --fuzz-nodes M              max operator draws per random AIG\n"
+      "                              (default 60)\n"
       "  --out-blif FILE             write the mapped netlist as BLIF\n"
       "  --out-dot FILE              write a stage-annotated DOT graph\n"
+      "  --export-aiger FILE         write the source AIG as AIGER (binary\n"
+      "                              when FILE ends in .aig, ASCII otherwise)\n"
+      "  --export-verilog FILE       write the mapped netlist as structural\n"
+      "                              Verilog (SFQ primitives with STAGE\n"
+      "                              parameters; behavioral models appended\n"
+      "                              for co-simulation)\n"
       "  --paper                     also print the published Table-I row\n"
       "  --list-gens                 list accepted generator names\n"
       "  --help                      this text\n"
@@ -358,7 +445,9 @@ std::string usage() {
       "  t1map --gen mul8 --passes map,t1,stage,dff --json\n"
       "  t1map --gen adder16 --config all --json\n"
       "  t1map --gen c6288 --phases 6 --config t1 --out-blif c6288_t1.blif\n"
-      "  t1map --blif design.blif --config t1 --out-dot design.dot\n";
+      "  t1map --blif design.blif --config t1 --out-dot design.dot\n"
+      "  t1map --input design.aig --config t1 --export-verilog design.v\n"
+      "  t1map --fuzz 200 --fuzz-seed 7 --threads 4\n";
 }
 
 }  // namespace t1map::cli

@@ -3,6 +3,7 @@
 
 #pragma once
 
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -16,9 +17,11 @@ class UsageError : public std::runtime_error {
 };
 
 struct Options {
-  // Input (exactly one of the two).
-  std::string gen_name;   // --gen NAME (registry or parametric, e.g. adder16)
-  std::string blif_path;  // --blif FILE ("-" = stdin)
+  // Input (exactly one of the three).
+  std::string gen_name;    // --gen NAME (registry or parametric, e.g. adder16)
+  std::string blif_path;   // --blif FILE ("-" = stdin)
+  std::string input_path;  // --input FILE (AIGER or BLIF, auto-detected;
+                           //   "-" = stdin)
 
   // Flow configuration.
   std::string config = "all";  // --config all|1phi|nphi|t1
@@ -52,10 +55,19 @@ struct Options {
   int serve_idle_ms = 0;        // --serve-idle MS (socket idle disconnect;
                                 //   0 = never)
 
+  // Differential fuzzing (see src/fuzz/fuzzer.hpp).
+  int fuzz = 0;                  // --fuzz N (iterations; 0 = off)
+  std::uint64_t fuzz_seed = 1;   // --fuzz-seed S (base PRNG seed)
+  std::string fuzz_dir = "fuzz-repros";  // --fuzz-dir DIR (repro .aag files)
+  int fuzz_nodes = 60;           // --fuzz-nodes M (max operator draws/AIG)
+
   // Output.
   bool json = false;      // --json (machine-readable report on stdout)
   std::string out_blif;   // --out-blif FILE (mapped netlist, last config)
   std::string out_dot;    // --out-dot FILE (stage-annotated DOT, last config)
+  std::string out_aiger;  // --export-aiger FILE (source AIG; binary iff .aig)
+  std::string out_verilog;  // --export-verilog FILE (mapped netlist as
+                            //   structural Verilog)
   bool paper = false;     // --paper (print the published Table-I row too)
 
   bool list_gens = false;  // --list-gens

@@ -10,24 +10,56 @@
 
 #include <fstream>
 #include <iostream>
+#include <sstream>
 
 #include "cli/bench.hpp"
+#include "cli/fuzz_cmd.hpp"
 #include "cli/options.hpp"
 #include "cli/report.hpp"
 #include "cli/serve_cmd.hpp"
 #include "common/require.hpp"
 #include "gen/registry.hpp"
+#include "io/aiger.hpp"
 #include "io/blif.hpp"
 #include "io/dot.hpp"
+#include "io/verilog.hpp"
 
 namespace t1map::cli {
 namespace {
+
+/// Slurps a path ("-" = stdin) byte-exactly (binary AIGER needs it).
+std::string slurp(const std::string& path) {
+  std::ostringstream buffer;
+  if (path == "-") {
+    buffer << std::cin.rdbuf();
+  } else {
+    std::ifstream ifs(path, std::ios::binary);
+    T1MAP_REQUIRE(ifs.good(), "cannot open input file: " + path);
+    buffer << ifs.rdbuf();
+  }
+  return buffer.str();
+}
 
 Aig load_input(const Options& opts, Report& report) {
   if (!opts.gen_name.empty()) {
     report.design = opts.gen_name;
     report.source = "gen:" + opts.gen_name;
     return gen::make_named(opts.gen_name);
+  }
+  if (!opts.input_path.empty()) {
+    // Auto-detect from the leading bytes: both AIGER variants start with
+    // their magic word, anything else is treated as BLIF.
+    const std::string text = slurp(opts.input_path);
+    const bool aiger = text.rfind("aag ", 0) == 0 || text.rfind("aig ", 0) == 0;
+    report.source = (aiger ? "aiger:" : "blif:") + opts.input_path;
+    if (aiger) {
+      report.design = opts.input_path == "-" ? "aiger" : opts.input_path;
+      return io::read_aiger_string(text);
+    }
+    std::string model_name;
+    Aig aig = io::read_blif_string(text, &model_name);
+    report.design = model_name;
+    return aig;
   }
   report.source = "blif:" + opts.blif_path;
   std::string model_name;
@@ -44,12 +76,15 @@ Aig load_input(const Options& opts, Report& report) {
 }
 
 void export_netlist(const Options& opts, const ConfigResult& config) {
-  if (opts.out_blif.empty() && opts.out_dot.empty()) return;
+  if (opts.out_blif.empty() && opts.out_dot.empty() &&
+      opts.out_verilog.empty()) {
+    return;
+  }
   // A partial --passes pipeline (no dff stage) has nothing to export;
   // refuse rather than writing an empty netlist with exit code 0.
   T1MAP_REQUIRE(config.flow.has_materialized,
-                "--out-blif/--out-dot need a materialized netlist; include "
-                "the dff pass in --passes");
+                "--out-blif/--out-dot/--export-verilog need a materialized "
+                "netlist; include the dff pass in --passes");
   if (!opts.out_blif.empty()) {
     std::ofstream ofs(opts.out_blif);
     T1MAP_REQUIRE(ofs.good(), "cannot open for writing: " + opts.out_blif);
@@ -61,6 +96,13 @@ void export_netlist(const Options& opts, const ConfigResult& config) {
     T1MAP_REQUIRE(ofs.good(), "cannot open for writing: " + opts.out_dot);
     io::write_dot(ofs, config.flow.materialized.netlist,
                   &config.flow.materialized.stages);
+  }
+  if (!opts.out_verilog.empty()) {
+    std::ofstream ofs(opts.out_verilog);
+    T1MAP_REQUIRE(ofs.good(), "cannot open for writing: " + opts.out_verilog);
+    io::write_verilog(ofs, config.flow.materialized.netlist,
+                      &config.flow.materialized.stages,
+                      config.key + "_mapped");
   }
 }
 
@@ -75,10 +117,12 @@ int run(const Options& opts) {
   }
   if (opts.bench) return run_bench(opts);
   if (opts.serve) return run_serve(opts);
+  if (opts.fuzz > 0) return run_fuzz_cmd(opts);
 
   Report report;
   report.phases = opts.phases;
   const Aig aig = load_input(opts, report);
+  if (!opts.out_aiger.empty()) io::write_aiger_file(opts.out_aiger, aig);
   report.num_pis = aig.num_pis();
   report.num_pos = aig.num_pos();
   report.num_ands = aig.num_ands();

@@ -1,0 +1,65 @@
+#include "fuzz/random_aig.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/require.hpp"
+#include "common/rng.hpp"
+
+namespace t1map::fuzz {
+
+Aig random_aig(const RandomAigOptions& options) {
+  T1MAP_REQUIRE(options.num_pis >= 1, "random_aig: need at least one PI");
+  Rng rng(options.seed);
+  Aig aig;
+
+  std::vector<Lit> pool;
+  pool.reserve(options.num_pis + options.num_ops);
+  for (std::uint32_t i = 0; i < options.num_pis; ++i) {
+    pool.push_back(aig.create_pi());
+  }
+
+  const auto pick = [&]() -> Lit {
+    std::size_t index;
+    if (pool.size() > 4 && rng.uniform() < options.depth_bias) {
+      const std::size_t window = std::max<std::size_t>(1, pool.size() / 4);
+      index = pool.size() - 1 - rng.below(window);
+    } else {
+      index = rng.below(pool.size());
+    }
+    return lit_notif(pool[index], rng.flip());
+  };
+
+  for (std::uint32_t i = 0; i < options.num_ops; ++i) {
+    const double draw = rng.uniform();
+    Lit out;
+    if (draw < options.xor_density) {
+      out = aig.create_xor(pick(), pick());
+    } else if (draw < options.xor_density + options.mux_density) {
+      out = aig.create_ite(pick(), pick(), pick());
+    } else if (draw <
+               options.xor_density + options.mux_density + options.maj_density) {
+      out = aig.create_maj3(pick(), pick(), pick());
+    } else {
+      out = aig.create_and(pick(), pick());
+    }
+    pool.push_back(out);
+  }
+
+  for (std::uint32_t o = 0; o < options.num_pos; ++o) {
+    Lit driver;
+    if (rng.uniform() < options.po_const_prob) {
+      driver = rng.flip() ? Aig::kConst1 : Aig::kConst0;
+    } else {
+      // Bias POs toward the deep half of the pool so most of the graph is
+      // observable (fully dangling cones exercise nothing downstream).
+      const std::size_t window = std::max<std::size_t>(1, pool.size() / 2);
+      driver = lit_notif(pool[pool.size() - 1 - rng.below(window)],
+                         rng.uniform() < options.po_complement_prob);
+    }
+    aig.create_po(driver);
+  }
+  return aig;
+}
+
+}  // namespace t1map::fuzz

@@ -1,0 +1,44 @@
+/// \file random_aig.hpp
+/// \brief Seeded random AIG generation for differential fuzzing.
+///
+/// Produces structurally diverse combinational AIGs from a deterministic
+/// PRNG (`t1map::Rng`, platform-stable), so every fuzz finding is
+/// reproducible from `(seed, options)` alone.  The generator draws a mix of
+/// AND / XOR / MUX / MAJ operators over previously created literals with
+/// random complements; a depth bias steers operand picks toward recent
+/// nodes, yielding the deep, reconvergent cones that stress stage
+/// assignment and T1 detection rather than shallow bushes.
+
+#pragma once
+
+#include <cstdint>
+
+#include "aig/aig.hpp"
+
+namespace t1map::fuzz {
+
+struct RandomAigOptions {
+  std::uint64_t seed = 1;
+  std::uint32_t num_pis = 8;   // >= 1
+  std::uint32_t num_pos = 8;
+  /// Operator draws.  The realized AND count is usually smaller: XOR/MUX/MAJ
+  /// expand to several ANDs while structural hashing and constant folding
+  /// merge duplicates away.
+  std::uint32_t num_ops = 60;
+  /// Probability that an operand is drawn from the most recent quarter of
+  /// the node pool (0 = uniform = shallow, 1 = chain-like = deep).
+  double depth_bias = 0.5;
+  double xor_density = 0.25;  // P(op = XOR2)
+  double mux_density = 0.15;  // P(op = MUX / if-then-else)
+  double maj_density = 0.10;  // P(op = MAJ3); remainder: AND2
+  double po_complement_prob = 0.5;
+  /// Probability a PO is tied to a constant instead of a node — the
+  /// degenerate shape that historically breaks exporters.
+  double po_const_prob = 0.0;
+};
+
+/// Builds a random AIG.  Deterministic: equal options (seed included) give
+/// bit-identical graphs on every platform.
+Aig random_aig(const RandomAigOptions& options);
+
+}  // namespace t1map::fuzz

@@ -4,6 +4,7 @@
 #include <cctype>
 
 #include "common/require.hpp"
+#include "fuzz/random_aig.hpp"
 #include "gen/arith.hpp"
 #include "gen/cordic.hpp"
 #include "gen/iscas.hpp"
@@ -75,18 +76,36 @@ Aig make_named(const std::string& name) {
       return cordic_sin(size, std::max(1, size - 2));
     }
     if (family == "log2_") {
+      // Validate the width here, where the generator name is known: the
+      // downstream log2_circuit message cannot say which CLI/serve name
+      // caused it.
+      T1MAP_REQUIRE(size >= 4 && (size & (size - 1)) == 0,
+                    "log2_" + std::to_string(size) +
+                        ": invalid width — log2_<N> requires N to be a "
+                        "power of two >= 4 (e.g. log2_16, log2_32)");
       // Same parameter shape as the Table-I `log2` (which log2_32 equals):
       // half-width mantissa, 5N/16 fraction bits, both inside the
       // generator's supported band.
       return log2_circuit(size, std::clamp(size / 2, 4, 24),
                           std::clamp(size * 5 / 16, 1, 24));
     }
+    if (family == "fuzz") {
+      // Seeded random AIG of ~N operator draws: the fuzzer's corpus made
+      // addressable by name, so serve jobs and repro scripts can request
+      // e.g. `fuzz200` and get the same graph everywhere.
+      fuzz::RandomAigOptions options;
+      options.seed = static_cast<std::uint64_t>(size);
+      options.num_ops = static_cast<std::uint32_t>(size);
+      options.num_pis = static_cast<std::uint32_t>(std::clamp(size / 6, 2, 24));
+      options.num_pos = static_cast<std::uint32_t>(std::clamp(size / 10, 1, 16));
+      return fuzz::random_aig(options);
+    }
   }
   // Name every accepted family in the failure: callers of make_named are
   // often remote (serve-mode jobs, scripts), where "try --list-gens" is
   // not actionable advice.
   std::string known = "adder<N> mul<N> square<N> voter<N> comparator<N> "
-                      "sin<N>/cordic<N> log2_<N>";
+                      "sin<N>/cordic<N> log2_<N> fuzz<N>";
   std::string table1;
   for (const std::string& t : table1_names()) {
     if (!table1.empty()) table1 += ' ';
@@ -110,7 +129,8 @@ std::string describe_generators() {
       "  comparator<N>  N-bit adder+comparator, N >= 2 (c7552-like)\n"
       "  sin<N>         N-bit CORDIC sine, 4 <= N <= 40     e.g. sin12\n"
       "  cordic<N>      alias of sin<N> (deep ripple-chain stress)\n"
-      "  log2_<N>       N-bit log2, N a power of two >= 4   e.g. log2_16\n";
+      "  log2_<N>       N-bit log2, N a power of two >= 4   e.g. log2_16\n"
+      "  fuzz<N>        seeded random AIG, ~N ops, N >= 1   e.g. fuzz200\n";
 }
 
 const std::vector<PaperRow>& paper_table1() {

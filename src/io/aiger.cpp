@@ -1,0 +1,440 @@
+#include "io/aiger.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+#include "common/require.hpp"
+
+namespace t1map::io {
+
+namespace {
+
+// The AIGER variable index fits our 31-bit node space; anything larger is a
+// corrupt header long before it is a memory problem.
+constexpr std::uint64_t kMaxVars = 1u << 30;
+
+std::uint64_t parse_count(const char*& p, const char* end,
+                          const char* field) {
+  while (p != end && *p == ' ') ++p;
+  std::uint64_t value = 0;
+  const auto [ptr, ec] = std::from_chars(p, end, value);
+  T1MAP_REQUIRE(ec == std::errc() && ptr != p,
+                std::string("aiger: malformed header: expected the ") + field +
+                    " count");
+  p = ptr;
+  T1MAP_REQUIRE(value <= kMaxVars,
+                std::string("aiger: header ") + field + " count " +
+                    std::to_string(value) + " is out of range");
+  return value;
+}
+
+struct Header {
+  AigerFormat format;
+  std::uint64_t m, i, l, o, a;
+};
+
+/// Strips one trailing CR (CRLF input) so line parsing is byte-exact.
+void chomp_cr(std::string& line) {
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+}
+
+Header parse_header(const std::string& line) {
+  Header h{};
+  T1MAP_REQUIRE(line.size() >= 3,
+                "aiger: missing header (empty or unreadable input)");
+  const std::string magic = line.substr(0, 3);
+  if (magic == "aag") {
+    h.format = AigerFormat::kAscii;
+  } else if (magic == "aig") {
+    h.format = AigerFormat::kBinary;
+  } else {
+    T1MAP_REQUIRE(false, "aiger: bad magic '" + magic +
+                             "' (expected 'aag' or 'aig')");
+  }
+  const char* p = line.data() + 3;
+  const char* end = line.data() + line.size();
+  T1MAP_REQUIRE(p != end && *p == ' ',
+                "aiger: malformed header: counts must follow '" + magic + "'");
+  h.m = parse_count(p, end, "M");
+  h.i = parse_count(p, end, "I");
+  h.l = parse_count(p, end, "L");
+  h.o = parse_count(p, end, "O");
+  h.a = parse_count(p, end, "A");
+  while (p != end && *p == ' ') ++p;
+  // The B/C/J/F extension counts describe constraints and justice
+  // properties; a file carrying them is a model-checking problem, not a
+  // mapping workload.
+  T1MAP_REQUIRE(p == end,
+                "aiger: unsupported header extension after the A count: '" +
+                    std::string(p, end) + "'");
+
+  T1MAP_REQUIRE(h.l == 0,
+                "aiger: sequential AIGER is unsupported (header declares L=" +
+                    std::to_string(h.l) +
+                    " latches); this flow maps combinational logic only");
+  T1MAP_REQUIRE(h.i + h.l + h.a <= h.m,
+                "aiger: header counts disagree: M=" + std::to_string(h.m) +
+                    " < I+L+A=" + std::to_string(h.i + h.l + h.a));
+  if (h.format == AigerFormat::kBinary) {
+    // The binary encoding leaves no room for variable holes: gate literals
+    // are implied by position.
+    T1MAP_REQUIRE(h.i + h.l + h.a == h.m,
+                  "aiger: binary header requires M=I+L+A, got M=" +
+                      std::to_string(h.m) + " I=" + std::to_string(h.i) +
+                      " A=" + std::to_string(h.a));
+  }
+  return h;
+}
+
+/// How an AIGER variable is defined.
+struct VarDef {
+  enum Kind : std::uint8_t { kUndefined, kInput, kAnd } kind = kUndefined;
+  std::uint32_t index = 0;  // input: PI index
+  std::uint64_t rhs0 = 0, rhs1 = 0;  // and: fanin literals
+};
+
+class AigerReader {
+ public:
+  explicit AigerReader(std::istream& is) : is_(is) {}
+
+  Aig read() {
+    std::string line;
+    T1MAP_REQUIRE(static_cast<bool>(std::getline(is_, line)),
+                  "aiger: missing header (empty or unreadable input)");
+    chomp_cr(line);
+    header_ = parse_header(line);
+    defs_.assign(header_.m + 1, VarDef{});
+    pi_names_.assign(header_.i, std::string());
+    po_names_.assign(header_.o, std::string());
+
+    if (header_.format == AigerFormat::kAscii) {
+      read_ascii_body();
+    } else {
+      read_binary_body();
+    }
+    read_symbols_and_comments();
+    return build();
+  }
+
+ private:
+  std::uint64_t parse_literal(const std::string& line, const char* what) {
+    std::uint64_t value = 0;
+    const char* begin = line.data();
+    const char* end = begin + line.size();
+    const auto [ptr, ec] = std::from_chars(begin, end, value);
+    T1MAP_REQUIRE(ec == std::errc() && ptr == end && ptr != begin,
+                  std::string("aiger: malformed ") + what + " line: '" + line +
+                      "'");
+    T1MAP_REQUIRE(value / 2 <= header_.m,
+                  std::string("aiger: ") + what + " literal " +
+                      std::to_string(value) + " exceeds M=" +
+                      std::to_string(header_.m));
+    return value;
+  }
+
+  std::string next_line(const char* what) {
+    std::string line;
+    T1MAP_REQUIRE(static_cast<bool>(std::getline(is_, line)),
+                  std::string("aiger: truncated file: missing ") + what);
+    chomp_cr(line);
+    return line;
+  }
+
+  void define_input(std::uint64_t lit, std::uint32_t index) {
+    T1MAP_REQUIRE(lit >= 2 && (lit & 1) == 0,
+                  "aiger: input literal " + std::to_string(lit) +
+                      " must be an even non-constant literal");
+    VarDef& def = defs_[lit / 2];
+    T1MAP_REQUIRE(def.kind == VarDef::kUndefined,
+                  "aiger: variable " + std::to_string(lit / 2) +
+                      " defined twice");
+    def.kind = VarDef::kInput;
+    def.index = index;
+  }
+
+  void define_and(std::uint64_t lhs, std::uint64_t rhs0, std::uint64_t rhs1) {
+    T1MAP_REQUIRE(lhs >= 2 && (lhs & 1) == 0,
+                  "aiger: AND left-hand side " + std::to_string(lhs) +
+                      " must be an even non-constant literal");
+    VarDef& def = defs_[lhs / 2];
+    T1MAP_REQUIRE(def.kind == VarDef::kUndefined,
+                  "aiger: variable " + std::to_string(lhs / 2) +
+                      " defined twice");
+    def.kind = VarDef::kAnd;
+    def.rhs0 = rhs0;
+    def.rhs1 = rhs1;
+    and_vars_.push_back(lhs / 2);
+  }
+
+  void read_ascii_body() {
+    for (std::uint64_t i = 0; i < header_.i; ++i) {
+      define_input(parse_literal(next_line("input"), "input"),
+                   static_cast<std::uint32_t>(i));
+    }
+    for (std::uint64_t o = 0; o < header_.o; ++o) {
+      outputs_.push_back(parse_literal(next_line("output"), "output"));
+    }
+    for (std::uint64_t a = 0; a < header_.a; ++a) {
+      const std::string line = next_line("AND gate");
+      const char* p = line.data();
+      const char* end = p + line.size();
+      std::uint64_t v[3];
+      for (int k = 0; k < 3; ++k) {
+        while (p != end && *p == ' ') ++p;
+        const auto [ptr, ec] = std::from_chars(p, end, v[k]);
+        T1MAP_REQUIRE(ec == std::errc() && ptr != p,
+                      "aiger: malformed AND gate line: '" + line + "'");
+        p = ptr;
+        T1MAP_REQUIRE(v[k] / 2 <= header_.m,
+                      "aiger: AND literal " + std::to_string(v[k]) +
+                          " exceeds M=" + std::to_string(header_.m));
+      }
+      while (p != end && *p == ' ') ++p;
+      T1MAP_REQUIRE(p == end,
+                    "aiger: trailing garbage on AND gate line: '" + line + "'");
+      define_and(v[0], v[1], v[2]);
+    }
+  }
+
+  /// One little-endian base-128 delta of the binary AND section.
+  std::uint64_t read_delta(std::uint64_t gate) {
+    std::uint64_t value = 0;
+    int shift = 0;
+    for (;;) {
+      const int byte = is_.get();
+      T1MAP_REQUIRE(byte != std::char_traits<char>::eof(),
+                    "aiger: truncated binary AND section (gate " +
+                        std::to_string(gate) + " of " +
+                        std::to_string(header_.a) + ")");
+      T1MAP_REQUIRE(shift <= 63, "aiger: binary delta overflows 64 bits");
+      value |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+      if ((byte & 0x80) == 0) return value;
+      shift += 7;
+    }
+  }
+
+  void read_binary_body() {
+    // Inputs are implicit: variables 1..I in order.
+    for (std::uint64_t i = 0; i < header_.i; ++i) {
+      define_input(2 * (i + 1), static_cast<std::uint32_t>(i));
+    }
+    for (std::uint64_t o = 0; o < header_.o; ++o) {
+      outputs_.push_back(parse_literal(next_line("output"), "output"));
+    }
+    for (std::uint64_t a = 0; a < header_.a; ++a) {
+      const std::uint64_t lhs = 2 * (header_.i + header_.l + a + 1);
+      const std::uint64_t delta0 = read_delta(a);
+      const std::uint64_t delta1 = read_delta(a);
+      T1MAP_REQUIRE(delta0 >= 1 && delta0 <= lhs,
+                    "aiger: binary gate " + std::to_string(a) +
+                        " violates lhs > rhs0 (delta0=" +
+                        std::to_string(delta0) + ")");
+      const std::uint64_t rhs0 = lhs - delta0;
+      T1MAP_REQUIRE(delta1 <= rhs0,
+                    "aiger: binary gate " + std::to_string(a) +
+                        " violates rhs0 >= rhs1 (delta1=" +
+                        std::to_string(delta1) + ")");
+      define_and(lhs, rhs0, rhs0 - delta1);
+    }
+  }
+
+  void read_symbols_and_comments() {
+    std::string line;
+    while (std::getline(is_, line)) {
+      chomp_cr(line);
+      if (line.empty()) continue;
+      if (line[0] == 'c') return;  // comment section: rest of file is free text
+      const char kind = line[0];
+      T1MAP_REQUIRE(kind == 'i' || kind == 'o' || kind == 'l',
+                    "aiger: malformed symbol line: '" + line + "'");
+      std::uint64_t pos = 0;
+      const char* begin = line.data() + 1;
+      const char* end = line.data() + line.size();
+      const auto [ptr, ec] = std::from_chars(begin, end, pos);
+      T1MAP_REQUIRE(ec == std::errc() && ptr != begin && ptr != end &&
+                        *ptr == ' ',
+                    "aiger: malformed symbol line: '" + line + "'");
+      const std::string name(ptr + 1, end);
+      if (kind == 'i') {
+        T1MAP_REQUIRE(pos < header_.i,
+                      "aiger: input symbol position " + std::to_string(pos) +
+                          " out of range");
+        pi_names_[pos] = name;
+      } else if (kind == 'o') {
+        T1MAP_REQUIRE(pos < header_.o,
+                      "aiger: output symbol position " + std::to_string(pos) +
+                          " out of range");
+        po_names_[pos] = name;
+      }
+      // 'l' cannot occur (L=0 enforced), but tolerating the prefix keeps the
+      // error above precise for genuinely malformed lines.
+    }
+  }
+
+  /// Our literal for an already-elaborated AIGER literal.
+  Lit lit_of(std::uint64_t aiger_lit) const {
+    const Lit base = var_lit_[aiger_lit / 2];
+    T1MAP_ASSERT(base != Aig::kUnmapped);
+    return lit_notif(base, (aiger_lit & 1) != 0);
+  }
+
+  Aig build() {
+    Aig aig;
+    var_lit_.assign(header_.m + 1, Aig::kUnmapped);
+    var_lit_[0] = Aig::kConst0;
+    // PIs first, in input-section order — the numbering `write_aiger`
+    // produces, so our own files round-trip with identical node ids.
+    std::vector<std::uint64_t> input_var(header_.i, 0);
+    for (std::uint64_t v = 1; v <= header_.m; ++v) {
+      if (defs_[v].kind == VarDef::kInput) input_var[defs_[v].index] = v;
+    }
+    for (std::uint64_t i = 0; i < header_.i; ++i) {
+      var_lit_[input_var[i]] = aig.create_pi(pi_names_[i]);
+    }
+
+    // Elaborate AND definitions in file order, resolving forward references
+    // depth-first (the ASCII variant permits any definition order).
+    std::vector<std::uint8_t> on_stack(header_.m + 1, 0);
+    std::vector<std::uint64_t> stack;
+    for (const std::uint64_t root : and_vars_) {
+      if (var_lit_[root] != Aig::kUnmapped) continue;
+      stack.assign(1, root);
+      while (!stack.empty()) {
+        const std::uint64_t var = stack.back();
+        if (var_lit_[var] != Aig::kUnmapped) {
+          on_stack[var] = 0;
+          stack.pop_back();
+          continue;
+        }
+        const VarDef& def = defs_[var];
+        T1MAP_REQUIRE(def.kind != VarDef::kUndefined,
+                      "aiger: literal references undefined variable " +
+                          std::to_string(var));
+        on_stack[var] = 1;
+        bool ready = true;
+        for (const std::uint64_t rhs : {def.rhs0, def.rhs1}) {
+          const std::uint64_t rv = rhs / 2;
+          if (var_lit_[rv] != Aig::kUnmapped) continue;
+          T1MAP_REQUIRE(on_stack[rv] == 0,
+                        "aiger: combinational cycle through variable " +
+                            std::to_string(rv));
+          stack.push_back(rv);
+          ready = false;
+        }
+        if (!ready) continue;
+        var_lit_[var] = aig.create_and(lit_of(def.rhs0), lit_of(def.rhs1));
+        on_stack[var] = 0;
+        stack.pop_back();
+      }
+    }
+
+    for (std::size_t o = 0; o < outputs_.size(); ++o) {
+      const std::uint64_t lit = outputs_[o];
+      T1MAP_REQUIRE(var_lit_[lit / 2] != Aig::kUnmapped,
+                    "aiger: output references undefined variable " +
+                        std::to_string(lit / 2));
+      aig.create_po(lit_of(lit), po_names_[o]);
+    }
+    return aig;
+  }
+
+  std::istream& is_;
+  Header header_{};
+  std::vector<VarDef> defs_;        // indexed by variable
+  std::vector<std::uint64_t> and_vars_;  // definition (file) order
+  std::vector<std::uint64_t> outputs_;
+  std::vector<std::string> pi_names_;
+  std::vector<std::string> po_names_;
+  std::vector<Lit> var_lit_;  // variable -> our positive literal
+};
+
+/// AIGER numbering of an `Aig`: PIs become variables 1..I in PI order, AND
+/// nodes follow in id (= topological) order.
+std::vector<std::uint32_t> number_vars(const Aig& aig) {
+  std::vector<std::uint32_t> var_of(aig.num_nodes(), 0);
+  const auto pis = aig.pis();
+  for (std::size_t i = 0; i < pis.size(); ++i) {
+    var_of[pis[i]] = static_cast<std::uint32_t>(i + 1);
+  }
+  std::uint32_t next = aig.num_pis();
+  for (std::uint32_t n = 0; n < aig.num_nodes(); ++n) {
+    if (aig.is_and(n)) var_of[n] = ++next;
+  }
+  return var_of;
+}
+
+void write_symbols(std::ostream& os, const Aig& aig) {
+  for (std::uint32_t i = 0; i < aig.num_pis(); ++i) {
+    os << 'i' << i << ' ' << aig.pi_name(i) << '\n';
+  }
+  for (std::uint32_t o = 0; o < aig.num_pos(); ++o) {
+    os << 'o' << o << ' ' << aig.po_name(o) << '\n';
+  }
+}
+
+void write_delta(std::ostream& os, std::uint64_t delta) {
+  while (delta >= 0x80) {
+    os.put(static_cast<char>(0x80 | (delta & 0x7F)));
+    delta >>= 7;
+  }
+  os.put(static_cast<char>(delta));
+}
+
+}  // namespace
+
+void write_aiger(std::ostream& os, const Aig& aig, AigerFormat format) {
+  const std::vector<std::uint32_t> var_of = number_vars(aig);
+  const auto alit = [&var_of](Lit l) -> std::uint64_t {
+    return 2ull * var_of[lit_node(l)] + (lit_is_complemented(l) ? 1 : 0);
+  };
+  const std::uint64_t ands = aig.num_ands();
+  const std::uint64_t m = aig.num_pis() + ands;
+
+  os << (format == AigerFormat::kAscii ? "aag" : "aig") << ' ' << m << ' '
+     << aig.num_pis() << " 0 " << aig.num_pos() << ' ' << ands << '\n';
+
+  if (format == AigerFormat::kAscii) {
+    for (std::uint32_t i = 0; i < aig.num_pis(); ++i) {
+      os << 2 * (i + 1) << '\n';
+    }
+  }
+  for (const Lit po : aig.pos()) os << alit(po) << '\n';
+
+  for (std::uint32_t n = 0; n < aig.num_nodes(); ++n) {
+    if (!aig.is_and(n)) continue;
+    const std::uint64_t lhs = 2ull * var_of[n];
+    std::uint64_t rhs0 = alit(aig.fanin0(n));
+    std::uint64_t rhs1 = alit(aig.fanin1(n));
+    if (rhs0 < rhs1) std::swap(rhs0, rhs1);  // lhs > rhs0 >= rhs1
+    if (format == AigerFormat::kAscii) {
+      os << lhs << ' ' << rhs0 << ' ' << rhs1 << '\n';
+    } else {
+      write_delta(os, lhs - rhs0);
+      write_delta(os, rhs0 - rhs1);
+    }
+  }
+  write_symbols(os, aig);
+}
+
+Aig read_aiger(std::istream& is) {
+  return AigerReader(is).read();
+}
+
+Aig read_aiger_string(const std::string& text) {
+  std::istringstream iss(text);
+  return read_aiger(iss);
+}
+
+void write_aiger_file(const std::string& path, const Aig& aig) {
+  const bool binary = path.size() >= 4 &&
+                      path.compare(path.size() - 4, 4, ".aig") == 0;
+  std::ofstream ofs(path, binary ? std::ios::binary : std::ios::out);
+  T1MAP_REQUIRE(ofs.good(), "cannot open for writing: " + path);
+  write_aiger(ofs, aig, binary ? AigerFormat::kBinary : AigerFormat::kAscii);
+  T1MAP_REQUIRE(ofs.good(), "write failed: " + path);
+}
+
+}  // namespace t1map::io

@@ -1,0 +1,59 @@
+/// \file aiger.hpp
+/// \brief AIGER reader and writer — the standard AIG interchange format.
+///
+/// Supports both the ASCII (`aag`) and the binary (`aig`) variant of the
+/// format (Biere, "The AIGER And-Inverter Graph Format", FMV TR 07/1), for
+/// the *combinational* subset: files with latches are rejected with a
+/// diagnostic naming the latch count, since the paper's flow maps purely
+/// combinational logic (path-balancing DFFs are a mapping artifact, not
+/// source-level state).
+///
+/// Round-trip contract: `read_aiger(write_aiger(aig))` reconstructs the
+/// graph bit-identically — same node numbering (PIs first, AND nodes in
+/// topological id order), same PI/PO names (symbol table), same PO
+/// polarities, dangling cones included.  AIGs whose PIs were created after
+/// AND nodes are renumbered PIs-first on write (the AIGER format requires
+/// it); their round trip is structurally identical (`serve::AigHasher`
+/// digest-equal) with shifted ids.
+///
+/// The reader accepts any well-formed combinational AIGER file, not just
+/// our own output: AND definitions may appear in any order (they are
+/// elaborated demand-first with cycle detection), inputs need not be the
+/// first variables, and redundant gates are structurally hashed away on
+/// construction exactly like `Aig::create_and` always does.
+
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "aig/aig.hpp"
+
+namespace t1map::io {
+
+enum class AigerFormat {
+  kAscii,   // "aag" header, literals in decimal
+  kBinary,  // "aig" header, delta-compressed AND section
+};
+
+/// Writes `aig` in the requested AIGER variant, symbol table included
+/// (every PI and PO name).  Binary streams must be opened in binary mode.
+void write_aiger(std::ostream& os, const Aig& aig,
+                 AigerFormat format = AigerFormat::kAscii);
+
+/// Parses an AIGER file (either variant, auto-detected from the header).
+/// Throws ContractError on malformed or truncated input, and on any file
+/// with latches (sequential AIGs are not mappable by this flow).
+Aig read_aiger(std::istream& is);
+
+/// Convenience overload for in-memory text (ASCII payloads, e.g. the serve
+/// `aiger` job; binary bytes survive too as long as the string does).
+Aig read_aiger_string(const std::string& text);
+
+/// Writes `aig` to `path`, picking the binary variant for a ".aig"
+/// extension and ASCII otherwise.  Throws ContractError when the file
+/// cannot be opened.
+void write_aiger_file(const std::string& path, const Aig& aig);
+
+}  // namespace t1map::io

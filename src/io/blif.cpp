@@ -76,15 +76,45 @@ void write_blif(std::ostream& os, const Aig& aig,
     os << ' ' << aig.po_name(i);
   }
   os << '\n';
-  os << ".names " << aig_sig(0) << "\n";  // constant 0: empty cover
 
+  // Emit exactly the PO-reachable cone.  The reader elaborates demand-driven
+  // from `.outputs`, so gates feeding nothing would be silently dropped on
+  // the way back in; writing them would make write/read round trips
+  // structurally unstable (dangling cones, zero-PO AIGs).  The PI interface
+  // is always preserved: `.inputs` declares every PI regardless of use.
+  std::vector<bool> reachable(aig.num_nodes(), false);
+  {
+    std::vector<std::uint32_t> stack;
+    for (const Lit po : aig.pos()) {
+      if (!reachable[lit_node(po)]) {
+        reachable[lit_node(po)] = true;
+        stack.push_back(lit_node(po));
+      }
+    }
+    while (!stack.empty()) {
+      const std::uint32_t n = stack.back();
+      stack.pop_back();
+      if (!aig.is_and(n)) continue;
+      for (const Lit f : {aig.fanin0(n), aig.fanin1(n)}) {
+        if (!reachable[lit_node(f)]) {
+          reachable[lit_node(f)] = true;
+          stack.push_back(lit_node(f));
+        }
+      }
+    }
+  }
+
+  if (reachable[0]) {
+    os << ".names " << aig_sig(0) << "\n";  // constant 0: empty cover
+  }
   for (std::uint32_t i = 0; i < aig.num_pis(); ++i) {
+    if (!reachable[aig.pis()[i]]) continue;
     // Alias the PI name onto its node signal.
     os << ".names " << aig.pi_name(i) << ' ' << aig_sig(aig.pis()[i])
        << "\n1 1\n";
   }
   for (std::uint32_t n = 0; n < aig.num_nodes(); ++n) {
-    if (!aig.is_and(n)) continue;
+    if (!aig.is_and(n) || !reachable[n]) continue;
     const Lit f0 = aig.fanin0(n);
     const Lit f1 = aig.fanin1(n);
     os << ".names " << aig_sig(lit_node(f0)) << ' ' << aig_sig(lit_node(f1))

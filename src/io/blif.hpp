@@ -4,6 +4,10 @@
 /// Writers: T1 taps are flattened to `.names` over the core's data inputs
 /// (BLIF has no multi-output gate primitive); DFFs are written as `.latch`.
 /// The output round-trips through standard tools for combinational checks.
+/// The AIG writer emits exactly the PO-reachable cone (the full `.inputs`
+/// interface is always declared), matching the reader's demand-driven
+/// elaboration so write/read round trips are structurally stable even for
+/// zero-PO, constant-output or dangling-node graphs.
 ///
 /// Reader: parses a single-model structural BLIF into an AIG.  `.names`
 /// covers support `0`/`1`/`-` input literals and both output phases;

@@ -1,0 +1,303 @@
+#include "io/verilog.hpp"
+
+#include <array>
+#include <cctype>
+#include <unordered_set>
+#include <vector>
+
+#include "common/require.hpp"
+#include "sfq/cells.hpp"
+
+namespace t1map::io {
+
+namespace {
+
+using sfq::CellKind;
+
+constexpr std::uint32_t kNone = 0xFFFFFFFFu;
+
+/// Primitive module name for an instantiable kind (taps fold into the core).
+const char* primitive_name(CellKind kind) {
+  switch (kind) {
+    case CellKind::kBuf: return "sfq_buf";
+    case CellKind::kNot: return "sfq_not";
+    case CellKind::kAnd2: return "sfq_and2";
+    case CellKind::kOr2: return "sfq_or2";
+    case CellKind::kXor2: return "sfq_xor2";
+    case CellKind::kAnd3: return "sfq_and3";
+    case CellKind::kOr3: return "sfq_or3";
+    case CellKind::kXor3: return "sfq_xor3";
+    case CellKind::kMaj3: return "sfq_maj3";
+    case CellKind::kDff: return "sfq_dff";
+    case CellKind::kT1: return "sfq_t1";
+    default: return nullptr;
+  }
+}
+
+bool is_verilog_keyword(const std::string& s) {
+  static const std::unordered_set<std::string> kKeywords = {
+      "always", "assign",  "begin",  "buf",    "case",   "clk",    "default",
+      "else",   "end",     "endcase", "endmodule", "for", "if",     "inout",
+      "input",  "integer", "module", "negedge", "not",   "or",     "output",
+      "parameter", "posedge", "reg", "signed", "supply0", "supply1", "tri",
+      "wand",   "while",   "wire",   "wor",    "xnor",   "xor",    "and",
+      "nand",   "nor",     "initial", "function", "endfunction", "localparam",
+  };
+  return kKeywords.count(s) != 0;
+}
+
+/// True for names the exporter itself generates (`n<id>`, `g<id>`).
+bool is_reserved_shape(const std::string& s) {
+  if (s.size() < 2 || (s[0] != 'n' && s[0] != 'g')) return false;
+  for (std::size_t i = 1; i < s.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(s[i]))) return false;
+  }
+  return true;
+}
+
+/// Maps interface names to unique legal Verilog simple identifiers.
+class NameTable {
+ public:
+  std::string sanitize(const std::string& raw, const char* fallback_prefix,
+                       std::uint32_t index) {
+    std::string id;
+    for (const char c : raw) {
+      const bool ok = std::isalnum(static_cast<unsigned char>(c)) ||
+                      c == '_' || c == '$';
+      id.push_back(ok ? c : '_');
+    }
+    if (id.empty() || std::isdigit(static_cast<unsigned char>(id[0])) ||
+        id[0] == '$') {
+      id = std::string(fallback_prefix) + std::to_string(index) +
+           (id.empty() ? "" : "_" + id);
+    }
+    if (is_verilog_keyword(id) || is_reserved_shape(id)) id += "_";
+    while (!used_.insert(id).second) id += "_";
+    return id;
+  }
+
+ private:
+  std::unordered_set<std::string> used_;
+};
+
+struct T1Pins {
+  // Tap node per output pin, kNone when the tap was never created.
+  std::uint32_t s = kNone, co = kNone, q = kNone, cn = kNone, qn = kNone;
+};
+
+void emit_behavioral_library(std::ostream& os,
+                             const std::array<bool, sfq::kNumCellKinds>& used) {
+  const auto want = [&used](CellKind k) {
+    return used[static_cast<int>(k)];
+  };
+  os << "\n// ---- behavioral primitive library "
+        "----------------------------------\n"
+        "// Functional models only: DFFs are transparent delays and pulses\n"
+        "// are levels, so simulation matches the mapped netlist's\n"
+        "// combinational semantics.  For pulse-level co-simulation, define\n"
+        "// T1MAP_SFQ_BEHAVIORAL and bind a timing-accurate library instead.\n"
+        "`ifndef T1MAP_SFQ_BEHAVIORAL\n"
+        "`define T1MAP_SFQ_BEHAVIORAL\n";
+  struct Simple {
+    CellKind kind;
+    const char* ports;
+    const char* body;
+  };
+  const Simple kSimple[] = {
+      {CellKind::kBuf, "input clk, input a, output y", "assign y = a;"},
+      {CellKind::kNot, "input clk, input a, output y", "assign y = ~a;"},
+      {CellKind::kAnd2, "input clk, input a, input b, output y",
+       "assign y = a & b;"},
+      {CellKind::kOr2, "input clk, input a, input b, output y",
+       "assign y = a | b;"},
+      {CellKind::kXor2, "input clk, input a, input b, output y",
+       "assign y = a ^ b;"},
+      {CellKind::kAnd3, "input clk, input a, input b, input c, output y",
+       "assign y = a & b & c;"},
+      {CellKind::kOr3, "input clk, input a, input b, input c, output y",
+       "assign y = a | b | c;"},
+      {CellKind::kXor3, "input clk, input a, input b, input c, output y",
+       "assign y = a ^ b ^ c;"},
+      {CellKind::kMaj3, "input clk, input a, input b, input c, output y",
+       "assign y = (a & b) | (a & c) | (b & c);"},
+  };
+  for (const Simple& p : kSimple) {
+    if (!want(p.kind)) continue;
+    os << "module " << primitive_name(p.kind) << " #(parameter STAGE = 0) ("
+       << p.ports << ");\n  " << p.body << "\nendmodule\n";
+  }
+  if (want(CellKind::kDff)) {
+    os << "module sfq_dff #(parameter STAGE = 0) (input clk, input d, "
+          "output q);\n"
+          "  assign q = d;  // path-balancing delay, transparent here\n"
+          "endmodule\n";
+  }
+  if (want(CellKind::kT1)) {
+    os << "module sfq_t1 #(parameter STAGE = 0) (input clk, input a, "
+          "input b, input c,\n"
+          "               output s, output co, output q, output cn, "
+          "output qn);\n"
+          "  assign s  = a ^ b ^ c;                    // sum (XOR3)\n"
+          "  assign co = (a & b) | (a & c) | (b & c);  // carry (MAJ3)\n"
+          "  assign q  = a | b | c;                    // OR3 tap\n"
+          "  assign cn = ~co;\n"
+          "  assign qn = ~q;\n"
+          "endmodule\n";
+  }
+  os << "`endif  // T1MAP_SFQ_BEHAVIORAL\n";
+}
+
+}  // namespace
+
+void write_verilog(std::ostream& os, const sfq::Netlist& ntk,
+                   const retime::StageAssignment* stages,
+                   const std::string& module_name) {
+  const std::uint32_t n = ntk.num_nodes();
+
+  NameTable names;
+  std::vector<std::string> net(n);
+  const auto pis = ntk.pis();
+  std::vector<std::string> pi_port(pis.size());
+  for (std::size_t i = 0; i < pis.size(); ++i) {
+    pi_port[i] = names.sanitize(ntk.pi_name(static_cast<std::uint32_t>(i)),
+                                "pi", static_cast<std::uint32_t>(i));
+    net[pis[i]] = pi_port[i];
+  }
+  const auto pos = ntk.pos();
+  std::vector<std::string> po_port(pos.size());
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    po_port[i] =
+        names.sanitize(pos[i].name, "po", static_cast<std::uint32_t>(i));
+  }
+  for (std::uint32_t id = 0; id < n; ++id) {
+    if (net[id].empty()) net[id] = "n" + std::to_string(id);
+  }
+
+  // Collect the taps of every T1 core; they become core output pins.
+  std::vector<T1Pins> t1_pins(n);
+  for (std::uint32_t id = 0; id < n; ++id) {
+    if (!ntk.is_tap(id)) continue;
+    T1Pins& pins = t1_pins[ntk.fanins(id)[0]];
+    switch (ntk.kind(id)) {
+      case CellKind::kT1TapS: pins.s = id; break;
+      case CellKind::kT1TapC: pins.co = id; break;
+      case CellKind::kT1TapQ: pins.q = id; break;
+      case CellKind::kT1TapCn: pins.cn = id; break;
+      case CellKind::kT1TapQn: pins.qn = id; break;
+      default: T1MAP_ASSERT(false);
+    }
+  }
+
+  const std::vector<std::uint32_t> fanout = ntk.fanout_counts();
+  const auto stage_of = [stages](std::uint32_t id) -> int {
+    if (stages == nullptr) return -1;
+    if (id >= stages->sigma.size()) return -1;
+    return stages->sigma[id];
+  };
+
+  // ---- header + ports -----------------------------------------------------
+  os << "// Structural SFQ netlist exported by t1map.\n"
+     << "// cells: " << n << " nodes, " << ntk.num_t1() << " T1 cores, "
+     << ntk.count_kind(CellKind::kDff) << " DFFs; implicit splitters: "
+     << ntk.splitter_count() << " (see per-net comments).\n";
+  if (stages != nullptr) {
+    os << "// clocking: " << stages->num_phases
+       << " phase(s) per cycle, PO capture stage " << stages->sigma_po
+       << " (depth " << stages->depth_cycles() << " cycles).\n";
+  }
+  os << "module " << module_name << " (\n  input  wire clk";
+  for (std::size_t i = 0; i < pi_port.size(); ++i) {
+    os << ",\n  input  wire " << pi_port[i];
+    if (pi_port[i] != ntk.pi_name(static_cast<std::uint32_t>(i))) {
+      os << "  // " << ntk.pi_name(static_cast<std::uint32_t>(i));
+    }
+  }
+  for (std::size_t i = 0; i < po_port.size(); ++i) {
+    os << ",\n  output wire " << po_port[i];
+    if (po_port[i] != pos[i].name) os << "  // " << pos[i].name;
+  }
+  os << "\n);\n";
+
+  // ---- wires --------------------------------------------------------------
+  for (std::uint32_t id = 0; id < n; ++id) {
+    if (ntk.is_pi(id) || ntk.is_t1(id)) continue;  // cores have no own net
+    os << "  wire " << net[id] << ";\n";
+  }
+
+  // ---- instances ----------------------------------------------------------
+  std::array<bool, sfq::kNumCellKinds> used{};
+  const auto param = [&](std::uint32_t id) -> std::string {
+    const int s = stage_of(id);
+    if (s < 0) return "";
+    return " #(.STAGE(" + std::to_string(s) + "))";
+  };
+  const auto fanout_note = [&](std::uint32_t id) -> std::string {
+    if (id >= fanout.size() || fanout[id] <= 1 || ntk.is_t1(id)) return "";
+    return "  // fanout " + std::to_string(fanout[id]) + " -> " +
+           std::to_string(fanout[id] - 1) + " splitters";
+  };
+  static const char* kAbc[3] = {".a(", ".b(", ".c("};
+  for (std::uint32_t id = 0; id < n; ++id) {
+    const CellKind kind = ntk.kind(id);
+    switch (kind) {
+      case CellKind::kPi:
+        break;
+      case CellKind::kConst0:
+      case CellKind::kConst1:
+        os << "  assign " << net[id] << " = 1'b"
+           << (kind == CellKind::kConst1 ? 1 : 0) << ";" << fanout_note(id)
+           << "\n";
+        break;
+      case CellKind::kT1TapS:
+      case CellKind::kT1TapC:
+      case CellKind::kT1TapQ:
+      case CellKind::kT1TapCn:
+      case CellKind::kT1TapQn:
+        break;  // emitted as pins of the core instance
+      case CellKind::kT1: {
+        used[static_cast<int>(kind)] = true;
+        const T1Pins& pins = t1_pins[id];
+        os << "  sfq_t1" << param(id) << " g" << id << " (.clk(clk)";
+        const auto f = ntk.fanins(id);
+        for (int k = 0; k < 3; ++k) os << ", " << kAbc[k] << net[f[k]] << ")";
+        const std::pair<const char*, std::uint32_t> outs[] = {
+            {".s(", pins.s},   {".co(", pins.co}, {".q(", pins.q},
+            {".cn(", pins.cn}, {".qn(", pins.qn}};
+        for (const auto& [pin, tap] : outs) {
+          if (tap != kNone) os << ", " << pin << net[tap] << ")";
+        }
+        os << ");\n";
+        break;
+      }
+      case CellKind::kDff: {
+        used[static_cast<int>(kind)] = true;
+        os << "  sfq_dff" << param(id) << " g" << id << " (.clk(clk), .d("
+           << net[ntk.fanins(id)[0]] << "), .q(" << net[id] << "));"
+           << fanout_note(id) << "\n";
+        break;
+      }
+      default: {
+        const char* prim = primitive_name(kind);
+        T1MAP_ASSERT(prim != nullptr);
+        used[static_cast<int>(kind)] = true;
+        os << "  " << prim << param(id) << " g" << id << " (.clk(clk)";
+        const auto f = ntk.fanins(id);
+        for (std::size_t k = 0; k < f.size(); ++k) {
+          os << ", " << kAbc[k] << net[f[k]] << ")";
+        }
+        os << ", .y(" << net[id] << "));" << fanout_note(id) << "\n";
+        break;
+      }
+    }
+  }
+
+  // ---- outputs ------------------------------------------------------------
+  for (std::size_t i = 0; i < po_port.size(); ++i) {
+    os << "  assign " << po_port[i] << " = " << net[pos[i].driver] << ";\n";
+  }
+  os << "endmodule\n";
+
+  emit_behavioral_library(os, used);
+}
+
+}  // namespace t1map::io

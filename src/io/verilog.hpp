@@ -1,0 +1,40 @@
+/// \file verilog.hpp
+/// \brief Structural Verilog exporter for mapped SFQ netlists.
+///
+/// Emits the netlist as a gate-level module over a small SFQ primitive
+/// library (`sfq_and2`, `sfq_dff`, `sfq_t1`, ...), one instance per cell,
+/// suitable as the structural half of a pulse-level co-simulation in the
+/// VeriSFQ style.  Conventions:
+///   * every clocked primitive takes a global `clk` port and a `STAGE`
+///     parameter carrying the clock-stage assignment (when one is given),
+///     so a testbench can reconstruct the wave-pipelined schedule;
+///   * T1 cores are single `sfq_t1` instances; their taps become output-pin
+///     connections (s/co/q/cn/qn), unconnected pins are omitted;
+///   * pulse splitters are implicit in multi-fanout nets and annotated as
+///     comments (`// fanout 3 -> 2 splitters`) rather than instantiated;
+///   * a behavioral model of each *used* primitive is appended under a
+///     `T1MAP_SFQ_BEHAVIORAL` include guard, with DFFs modeled as
+///     transparent delays so the module simulates combinationally
+///     equivalent to the netlist — replace the guarded section with a
+///     pulse-level library for timing-accurate co-simulation.
+
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "retime/stage_assign.hpp"
+#include "sfq/netlist.hpp"
+
+namespace t1map::io {
+
+/// Writes `ntk` as a structural Verilog module named `module_name`.
+/// PI/PO names are sanitized into Verilog identifiers (invalid characters
+/// become '_'; collisions and keywords get a numeric suffix, with the
+/// original name kept in a trailing comment).  `stages`, when non-null,
+/// annotates every instance with its `STAGE` parameter.
+void write_verilog(std::ostream& os, const sfq::Netlist& ntk,
+                   const retime::StageAssignment* stages = nullptr,
+                   const std::string& module_name = "t1map_top");
+
+}  // namespace t1map::io

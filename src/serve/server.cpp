@@ -11,6 +11,7 @@
 
 #include "common/require.hpp"
 #include "gen/registry.hpp"
+#include "io/aiger.hpp"
 #include "io/blif.hpp"
 #include "io/json.hpp"
 #include "serve/disk_cache.hpp"
@@ -23,7 +24,8 @@ namespace {
 /// Every key a request may carry; anything else is a typo worth rejecting
 /// loudly rather than silently ignoring.
 constexpr const char* kKnownFields[] = {
-    "cmd", "id", "gen", "blif", "config", "phases", "verify_rounds", "cec",
+    "cmd",    "id",     "gen", "blif", "aiger",
+    "config", "phases", "verify_rounds", "cec",
 };
 
 bool known_field(const std::string& name) {
@@ -126,7 +128,8 @@ Server::Job Server::parse_request(const std::string& line, std::uint64_t seq,
       // A command carrying job fields is almost certainly two requests
       // accidentally merged; dropping the job silently would lose work.
       for (const char* field :
-           {"gen", "blif", "config", "phases", "verify_rounds", "cec"}) {
+           {"gen", "blif", "aiger", "config", "phases", "verify_rounds",
+            "cec"}) {
         T1MAP_REQUIRE(request.find(field) == nullptr,
                       "cmd '" + job.cmd + "' does not take the job field '" +
                           field + "'");
@@ -136,11 +139,18 @@ Server::Job Server::parse_request(const std::string& line, std::uint64_t seq,
 
     const io::Json* gen = request.find("gen");
     const io::Json* blif = request.find("blif");
-    T1MAP_REQUIRE((gen != nullptr) != (blif != nullptr),
-                  "exactly one of 'gen' or 'blif' is required");
+    const io::Json* aiger = request.find("aiger");
+    T1MAP_REQUIRE((gen != nullptr) + (blif != nullptr) + (aiger != nullptr) ==
+                      1,
+                  "exactly one of 'gen', 'blif' or 'aiger' is required");
     if (gen != nullptr) {
       job.design = gen->as_string();
       job.aig = gen::make_named(job.design);
+    } else if (aiger != nullptr) {
+      // Inline ASCII AIGER payload (JSON strings cannot carry the binary
+      // variant's raw bytes; clients convert with --export-aiger first).
+      job.aig = io::read_aiger_string(aiger->as_string());
+      job.design = "aiger";
     } else {
       std::istringstream text(blif->as_string());
       std::string model_name;

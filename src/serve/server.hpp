@@ -5,10 +5,12 @@
 /// request order per connection):
 ///
 ///   request  := flow-job | command
-///   flow-job := {"id": any, "gen": NAME | "blif": TEXT,
+///   flow-job := {"id": any, "gen": NAME | "blif": TEXT | "aiger": TEXT,
 ///                "config": "1phi"|"nphi"|"t1", "phases": N,
-///                "verify_rounds": N, "cec": BOOL}      (all but gen/blif
-///                                                       optional)
+///                "verify_rounds": N, "cec": BOOL}   (all but the circuit
+///                                                    field optional)
+///   The "aiger" field carries an inline ASCII (`aag`) AIGER payload;
+///   convert binary files with `t1map --input f.aig --export-aiger f.aag`.
 ///   command  := {"id": any, "cmd": "stats" | "quit"}
 ///
 /// Responses:

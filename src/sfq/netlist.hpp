@@ -63,6 +63,14 @@ class Netlist {
 
   void add_po(std::uint32_t driver, std::string name = {});
 
+  /// Repoints an existing PO at a different driver (fault injection for the
+  /// fuzzer's oracle self-test, netlist surgery in tests).
+  void set_po_driver(std::uint32_t index, std::uint32_t driver) {
+    T1MAP_REQUIRE(index < pos_.size(), "set_po_driver: no such PO");
+    T1MAP_REQUIRE(driver < nodes_.size(), "set_po_driver: no such node");
+    pos_[index].driver = driver;
+  }
+
   // --- Introspection -------------------------------------------------------
 
   std::uint32_t num_nodes() const {

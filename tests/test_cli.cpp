@@ -141,6 +141,52 @@ TEST(Cli, BadUsageFailsWithDiagnostic) {
   EXPECT_NE(status, 0);
 }
 
+TEST(Cli, FuzzSmokeRunPasses) {
+  std::string out;
+  const int status = run_command(
+      kCli + " --fuzz 3 --fuzz-seed 7 --fuzz-nodes 30"
+             " --fuzz-dir /tmp/t1map_cli_fuzz 2>/dev/null",
+      out);
+  ASSERT_EQ(status, 0) << out;
+  EXPECT_NE(out.find("fuzz: 3 iterations"), std::string::npos) << out;
+  EXPECT_NE(out.find("0 failure(s)"), std::string::npos) << out;
+  // Fuzz mode is exclusive with report/bench/serve inputs.
+  EXPECT_NE(run_command(kCli + " --fuzz 1 --gen adder8 2>/dev/null", out), 0);
+  EXPECT_NE(run_command(kCli + " --fuzz-seed 7 2>/dev/null", out), 0);
+}
+
+TEST(Cli, AigerExportImportRoundTrip) {
+  const std::string aag = "/tmp/t1map_cli_rt.aag";
+  const std::string aig = "/tmp/t1map_cli_rt.aig";
+  std::string out;
+  // Export both formats from a generator...
+  ASSERT_EQ(run_command(kCli + " --gen adder8 --export-aiger " + aag +
+                            " --json 2>/dev/null",
+                        out),
+            0);
+  ASSERT_EQ(run_command(kCli + " --gen adder8 --export-aiger " + aig +
+                            " --json 2>/dev/null",
+                        out),
+            0);
+  // ...then map each back in; the flow must prove CEC-equivalence and land
+  // on the generator run's Table-I numbers.
+  const io::Json direct = io::Json::parse(out);
+  for (const std::string& path : {aag, aig}) {
+    ASSERT_EQ(run_command(kCli + " --input " + path + " --json 2>/dev/null",
+                          out),
+              0)
+        << path;
+    const io::Json report = io::Json::parse(out);
+    const io::Json& t1 = report.at("configs").at("t1");
+    EXPECT_EQ(t1.at("cec").as_string(), "equivalent") << path;
+    EXPECT_EQ(t1.at("jj_total").as_number(),
+              direct.at("configs").at("t1").at("jj_total").as_number())
+        << path;
+  }
+  std::remove(aag.c_str());
+  std::remove(aig.c_str());
+}
+
 TEST(Cli, ListGensAndHelp) {
   std::string out;
   ASSERT_EQ(run_command(kCli + " --list-gens", out), 0);

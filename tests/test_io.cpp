@@ -13,6 +13,7 @@
 #include "io/json.hpp"
 #include "retime/dff_insert.hpp"
 #include "sat/cec.hpp"
+#include "serve/aig_hash.hpp"
 #include "sfq/mapper.hpp"
 #include "t1/flow.hpp"
 
@@ -303,6 +304,71 @@ TEST(Dot, StagesAnnotated) {
   EXPECT_NE(text.find("σ="), std::string::npos);
   EXPECT_NE(text.find("fillcolor=gold"), std::string::npos);  // T1 cores
   EXPECT_NE(text.find("->"), std::string::npos);
+}
+
+TEST(Blif, DanglingAndsRoundTripStably) {
+  // The writer emits only the PO-reachable cone: ANDs no output observes
+  // would otherwise be dropped by the demand-driven reader, making
+  // write -> read round trips structurally unstable.  (Byte identity is
+  // not the contract — the reader renumbers nets in elaboration order —
+  // but the structural digest must survive, and a second trip must be a
+  // fixpoint.)
+  Aig aig;
+  const Lit a = aig.create_pi("a");
+  const Lit b = aig.create_pi("b");
+  aig.create_and(a, lit_not(b));  // dangling: no PO reaches it
+  aig.create_po(aig.create_and(a, b), "y");
+
+  std::ostringstream first;
+  io::write_blif(first, aig, "dangle");
+  // The dangling gate is not in the emitted text: one AND cover only.
+  EXPECT_EQ(first.str().find("11 1\n"), first.str().rfind("11 1\n"));
+  const Aig back = io::read_blif_string(first.str());
+  EXPECT_EQ(back.num_ands(), 1u);
+  EXPECT_EQ(back.num_pis(), 2u);  // PIs survive even when unobserved
+  EXPECT_EQ(serve::hash_aig(back), serve::hash_aig(aig));
+
+  std::ostringstream second;
+  io::write_blif(second, back, "dangle");
+  const Aig again = io::read_blif_string(second.str());
+  std::ostringstream third;
+  io::write_blif(third, again, "dangle");
+  EXPECT_EQ(second.str(), third.str());
+
+  const sat::CecResult cec = sat::check_equivalence(aig.cleaned(), back);
+  EXPECT_EQ(cec.verdict, sat::CecResult::Verdict::kEquivalent);
+}
+
+TEST(Blif, ZeroPoNetlistRoundTrips) {
+  Aig aig;
+  aig.create_pi("a");
+  aig.create_pi("b");
+
+  std::ostringstream first;
+  io::write_blif(first, aig, "inputs_only");
+  const Aig back = io::read_blif_string(first.str());
+  EXPECT_EQ(back.num_pis(), 2u);
+  EXPECT_EQ(back.num_pos(), 0u);
+  EXPECT_EQ(back.num_ands(), 0u);
+  std::ostringstream second;
+  io::write_blif(second, back, "inputs_only");
+  EXPECT_EQ(first.str(), second.str());
+}
+
+TEST(Blif, ConstantOutputsRoundTrip) {
+  Aig aig;
+  aig.create_po(Aig::kConst1, "hi");
+  aig.create_po(Aig::kConst0, "lo");
+
+  std::ostringstream first;
+  io::write_blif(first, aig, "consts");
+  const Aig back = io::read_blif_string(first.str());
+  ASSERT_EQ(back.num_pos(), 2u);
+  EXPECT_EQ(back.po(0), Aig::kConst1);
+  EXPECT_EQ(back.po(1), Aig::kConst0);
+  std::ostringstream second;
+  io::write_blif(second, back, "consts");
+  EXPECT_EQ(first.str(), second.str());
 }
 
 TEST(Dot, PlainNetlistWithoutStages) {

@@ -15,6 +15,7 @@
 
 #include "gen/registry.hpp"
 #include "golden_flow.hpp"
+#include "io/aiger.hpp"
 #include "io/blif.hpp"
 #include "io/json.hpp"
 #include "serve/aig_hash.hpp"
@@ -496,6 +497,58 @@ TEST(Server, InlineBlifJobsShareTheCacheWithGeneratorJobs) {
   EXPECT_EQ(r2.at("design").as_string(), "adder8_rt");
   EXPECT_EQ(r1.at("stats").at("jj_total").as_number(),
             r2.at("stats").at("jj_total").as_number());
+}
+
+TEST(Server, InlineAigerJobsShareTheCacheWithGeneratorJobs) {
+  // Same circuit as a generator job and as an inline ASCII AIGER payload:
+  // identical structural hash, so the second submission is a cache hit.
+  const Aig aig = gen::make_named("adder8");
+  std::ostringstream src;
+  io::write_aiger(src, aig);
+  io::Json request = io::Json::object();
+  request.set("id", "aiger-job");
+  request.set("aiger", src.str());
+  request.set("verify_rounds", 0);
+  request.set("cec", false);
+
+  const std::string script =
+      "{\"id\":1,\"gen\":\"adder8\"}\n" + request.dump(-1) + "\n";
+  const std::vector<std::string> lines = serve_script(script, fast_config());
+  ASSERT_EQ(lines.size(), 2u);
+  const io::Json r1 = io::Json::parse(lines[0]);
+  const io::Json r2 = io::Json::parse(lines[1]);
+  ASSERT_TRUE(r1.at("ok").as_bool()) << lines[0];
+  ASSERT_TRUE(r2.at("ok").as_bool()) << lines[1];
+  EXPECT_FALSE(r1.at("cached").as_bool());
+  EXPECT_TRUE(r2.at("cached").as_bool());
+  EXPECT_EQ(r2.at("design").as_string(), "aiger");
+  EXPECT_EQ(r1.at("stats").at("jj_total").as_number(),
+            r2.at("stats").at("jj_total").as_number());
+}
+
+TEST(Server, RejectsBadAigerJobs) {
+  // A sequential payload and an ambiguous circuit spec both fail cleanly
+  // with the reader's / parser's diagnostic in the error field.
+  io::Json sequential = io::Json::object();
+  sequential.set("id", 1);
+  sequential.set("aiger", "aag 2 1 1 1 0\n2\n4 2\n4\n");
+  io::Json ambiguous = io::Json::object();
+  ambiguous.set("id", 2);
+  ambiguous.set("gen", "adder8");
+  ambiguous.set("aiger", "aag 0 0 0 0 0\n");
+
+  const std::string script =
+      sequential.dump(-1) + "\n" + ambiguous.dump(-1) + "\n";
+  const std::vector<std::string> lines = serve_script(script, fast_config());
+  ASSERT_EQ(lines.size(), 2u);
+  const io::Json r1 = io::Json::parse(lines[0]);
+  EXPECT_FALSE(r1.at("ok").as_bool());
+  EXPECT_NE(r1.at("error").as_string().find("sequential"), std::string::npos)
+      << lines[0];
+  const io::Json r2 = io::Json::parse(lines[1]);
+  EXPECT_FALSE(r2.at("ok").as_bool());
+  EXPECT_NE(r2.at("error").as_string().find("exactly one"), std::string::npos)
+      << lines[1];
 }
 
 TEST(Server, DeterministicAcrossThreadCounts) {
