@@ -70,12 +70,16 @@ def main() -> int:
     # --bench-threads) are excluded too: their wall times depend on how
     # many cores the runner actually has, which is a host property like
     # machine speed but per-entry, so they are gated but must not steer
-    # the normalization.  A uniform slowdown still shifts every kind
-    # equally and cancels; a single-stage regression shifts only its own
-    # vote.
+    # the normalization.  Near-duplicate mutant entries (NAME~mJ from
+    # --bench-set nearduplicate) also get no vote: their warm times are
+    # dominated by how much of the circuit the mutation dirtied — a
+    # property of the splice, not of the host.  A uniform slowdown still
+    # shifts every kind equally and cancels; a single-stage regression
+    # shifts only its own vote.
     by_kind = {}
     for name, stage, base, now in rows:
-        if not stage.startswith("total") and "@t" not in name:
+        if not stage.startswith("total") and "@t" not in name \
+                and "~m" not in name:
             by_kind.setdefault(stage, []).append(now / base)
     if by_kind:
         speed = statistics.median(

@@ -1,0 +1,29 @@
+#include "aig/aig_digest.hpp"
+
+#include <algorithm>
+
+namespace t1map::aig_digest {
+
+void cone_digests(const Aig& aig, std::vector<std::uint64_t>& out) {
+  out.assign(aig.num_nodes(), 0);
+  out[0] = mix64(kConstSeed);
+
+  // PI digests fold in the PI *index* (not the node id), so the digest sees
+  // the input interface, not the numbering.
+  const auto pis = aig.pis();
+  for (std::size_t i = 0; i < pis.size(); ++i) {
+    out[pis[i]] = combine(kPiSeed, static_cast<std::uint64_t>(i));
+  }
+
+  for (std::uint32_t n = 0; n < aig.num_nodes(); ++n) {
+    if (!aig.is_and(n)) continue;
+    std::uint64_t a = lit_digest(aig.fanin0(n), out);
+    std::uint64_t b = lit_digest(aig.fanin1(n), out);
+    // AND is commutative: order operands by hash value so operand order at
+    // construction time cannot leak into the digest.
+    if (a > b) std::swap(a, b);
+    out[n] = combine(kAndSeed, combine(a, b));
+  }
+}
+
+}  // namespace t1map::aig_digest

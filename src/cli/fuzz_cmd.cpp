@@ -15,6 +15,7 @@ int run_fuzz_cmd(const Options& opts) {
   fopts.threads = opts.threads > 1 ? opts.threads : 4;
   fopts.phases = opts.phases;
   fopts.verify_rounds = opts.verify_rounds > 8 ? 8 : opts.verify_rounds;
+  fopts.mutate = opts.fuzz_mutate;
   fopts.repro_dir = opts.fuzz_dir;
   fopts.log = &std::cerr;
 

@@ -111,9 +111,10 @@ Options parse_options(int argc, const char* const* argv) {
       bench_only_flag = arg;
       opts.bench_set = value_of(i);
       if (opts.bench_set != "small" && opts.bench_set != "table1" &&
-          opts.bench_set != "deep") {
-        throw UsageError("--bench-set must be small|table1|deep, got '" +
-                         opts.bench_set + "'");
+          opts.bench_set != "deep" && opts.bench_set != "nearduplicate") {
+        throw UsageError(
+            "--bench-set must be small|table1|deep|nearduplicate, got '" +
+            opts.bench_set + "'");
       }
     } else if (arg == "--bench-out") {
       bench_only_flag = arg;
@@ -174,6 +175,14 @@ Options parse_options(int argc, const char* const* argv) {
     } else if (arg == "--fuzz-nodes") {
       fuzz_only_flag = arg;
       opts.fuzz_nodes = parse_int(arg, value_of(i), 5, 1 << 16);
+    } else if (arg == "--fuzz-mutate") {
+      fuzz_only_flag = arg;
+      opts.fuzz_mutate = parse_int(arg, value_of(i), 0, 64);
+    } else if (arg == "--incremental-from") {
+      opts.incremental_from = value_of(i);
+      if (opts.incremental_from.empty()) {
+        throw UsageError("--incremental-from expects a file path");
+      }
     } else if (arg == "--json") {
       opts.json = true;
     } else if (arg == "--out-blif") {
@@ -221,6 +230,10 @@ Options parse_options(int argc, const char* const* argv) {
     if (!opts.passes.empty() || opts.skip_checks) {
       throw UsageError("--fuzz always runs the full differential pipeline; "
                        "--passes/--skip-checks do not apply");
+    }
+    if (!opts.incremental_from.empty()) {
+      throw UsageError("--incremental-from primes a report-mode run; for "
+                       "incremental coverage under --fuzz use --fuzz-mutate");
     }
     if (opts.config != "all") {
       throw UsageError("--fuzz always runs all three configurations; "
@@ -273,6 +286,11 @@ Options parse_options(int argc, const char* const* argv) {
       throw UsageError("--sat-portfolio tunes report/bench CEC runs; serve "
                        "jobs carry their own check configuration");
     }
+    if (!opts.incremental_from.empty()) {
+      throw UsageError("--incremental-from is a report-mode option; serve "
+                       "mode reuses cones across its request stream on its "
+                       "own");
+    }
     if (opts.phases < 3) {
       throw UsageError("--serve defaults jobs to the t1 configuration and "
                        "needs --phases >= 3");
@@ -306,6 +324,11 @@ Options parse_options(int argc, const char* const* argv) {
     if (!opts.gen_name.empty() && !opts.bench_set.empty()) {
       throw UsageError("--gen benches a single circuit; it conflicts with "
                        "--bench-set " + opts.bench_set);
+    }
+    if (!opts.incremental_from.empty()) {
+      throw UsageError("--incremental-from is a report-mode option; "
+                       "--bench-set nearduplicate is the bench-mode "
+                       "incremental measurement");
     }
     // Reject report-mode options bench mode would otherwise ignore.
     if (opts.config != "all" && opts.config != "t1") {
@@ -380,10 +403,13 @@ std::string usage() {
       "  --bench-runs N              repetitions per circuit (default 3;\n"
       "                              with 1 run the JSON omits the mean/max\n"
       "                              jitter fields)\n"
-      "  --bench-set small|table1|deep\n"
+      "  --bench-set small|table1|deep|nearduplicate\n"
       "                              circuit set (default small; table1 runs\n"
       "                              the paper-size benchmarks, deep the\n"
-      "                              long-chain adder256/cordic32/log2_16)\n"
+      "                              long-chain adder256/cordic32/log2_16,\n"
+      "                              nearduplicate one-gate mutants mapped on\n"
+      "                              a base-circuit-warmed engine — the\n"
+      "                              incremental-mapping measurement)\n"
       "  --bench-out FILE            bench output path ('-' = stdout;\n"
       "                              default BENCH_flow.json)\n"
       "  --bench-threads LIST        comma-separated thread counts (e.g.\n"
@@ -426,6 +452,15 @@ std::string usage() {
       "                              (default fuzz-repros)\n"
       "  --fuzz-nodes M              max operator draws per random AIG\n"
       "                              (default 60)\n"
+      "  --fuzz-mutate K             per iteration, also map K one-gate\n"
+      "                              mutants of the AIG on a memo-warmed\n"
+      "                              engine and assert bit-identity with a\n"
+      "                              cold engine (default 0 = off)\n"
+      "  --incremental-from FILE     map FILE (AIGER or BLIF) first to warm\n"
+      "                              the engine's cone memo, then map the\n"
+      "                              requested circuit incrementally; the\n"
+      "                              report shows per-pass reuse counters.\n"
+      "                              Results are bit-identical either way\n"
       "  --out-blif FILE             write the mapped netlist as BLIF\n"
       "  --out-dot FILE              write a stage-annotated DOT graph\n"
       "  --export-aiger FILE         write the source AIG as AIGER (binary\n"

@@ -4,11 +4,13 @@
 #include <chrono>
 #include <cstdio>
 #include <iostream>
+#include <optional>
 #include <sstream>
 
 #include "common/require.hpp"
 #include "gen/registry.hpp"
 #include "serve/json_out.hpp"
+#include "t1/cone_memo.hpp"
 
 namespace t1map::cli {
 
@@ -18,15 +20,40 @@ std::string nphi_key(int phases) {
   return "baseline_" + std::to_string(phases) + "phi";
 }
 
+/// Scoped hook of a cone memo onto a scratch; restores the previous hook
+/// even when the flow throws.
+class MemoAttach {
+ public:
+  MemoAttach(t1::FlowScratch& scratch, t1::ConeMemo& memo)
+      : scratch_(scratch), saved_(scratch.memo) {
+    scratch_.memo = &memo;
+  }
+  ~MemoAttach() { scratch_.memo = saved_; }
+  MemoAttach(const MemoAttach&) = delete;
+  MemoAttach& operator=(const MemoAttach&) = delete;
+
+ private:
+  t1::FlowScratch& scratch_;
+  t1::ConeMemo* saved_;
+};
+
 /// One configuration through the shared pipeline; throws ContractError when
 /// a check pass failed so the driver exits non-zero exactly as the
-/// monolithic flow did.
+/// monolithic flow did.  With `prime`, that design is mapped first (untimed)
+/// to warm a cone memo that the measured run then splices from.
 ConfigResult run_one_config(const t1::Pipeline& pipeline, const Aig& aig,
                             const std::string& key, const Options& opts,
-                            t1::FlowScratch& scratch) {
+                            t1::FlowScratch& scratch, const Aig* prime) {
   ConfigResult result;
   result.key = key;
   result.params = config_params(key, opts);
+
+  t1::ConeMemo memo;
+  std::optional<MemoAttach> attach;
+  if (prime != nullptr) {
+    attach.emplace(scratch, memo);
+    (void)t1::FlowEngine::run_with(pipeline, *prime, result.params, scratch);
+  }
 
   const auto start = std::chrono::steady_clock::now();
   result.flow =
@@ -80,7 +107,8 @@ t1::FlowParams config_params(const std::string& key, const Options& opts) {
 
 std::vector<ConfigResult> run_configs(const Aig& aig,
                                       const std::vector<std::string>& keys,
-                                      const Options& opts) {
+                                      const Options& opts,
+                                      const Aig* prime) {
   const t1::Pipeline pipeline = build_pipeline(opts);
   std::vector<ConfigResult> results(keys.size());
 
@@ -104,7 +132,8 @@ std::vector<ConfigResult> run_configs(const Aig& aig,
   t1::for_each_with_scratch(
       keys.size(), opts.threads,
       [&](std::size_t i, t1::FlowScratch& scratch) {
-        results[i] = run_one_config(pipeline, aig, keys[i], opts, scratch);
+        results[i] =
+            run_one_config(pipeline, aig, keys[i], opts, scratch, prime);
       },
       intra);
   return results;
@@ -141,9 +170,23 @@ io::Json report_json(const Report& report) {
     }
     j.set("cec", c.cec);
     j.set("seconds", c.seconds);
+    if (!report.incremental_from.empty()) {
+      const t1::ReuseCounters& r = c.flow.reuse;
+      io::Json reuse = io::Json::object();
+      reuse.set("map_cones_total", r.map_cones_total);
+      reuse.set("map_cones_reused", r.map_cones_reused);
+      reuse.set("t1_cones_total", r.t1_cones_total);
+      reuse.set("t1_cones_reused", r.t1_cones_reused);
+      reuse.set("t1_exact", r.t1_exact);
+      reuse.set("stage_spliced", r.stage_spliced);
+      j.set("reuse", std::move(reuse));
+    }
     configs.set(c.key, std::move(j));
   }
   root.set("configs", std::move(configs));
+  if (!report.incremental_from.empty()) {
+    root.set("incremental_from", report.incremental_from);
+  }
 
   if (const gen::PaperRow* row = gen::paper_row(report.design)) {
     io::Json paper = io::Json::object();
@@ -192,6 +235,22 @@ std::string report_text(const Report& report, bool with_paper) {
                   s.logic_cells, s.splitters, s.dffs, s.area_jj,
                   s.depth_cycles, c.cec.c_str(), c.seconds);
     os << line;
+  }
+
+  if (!report.incremental_from.empty()) {
+    std::snprintf(line, sizeof(line), "\nincremental (primed from %s):\n",
+                  report.incremental_from.c_str());
+    os << line;
+    for (const ConfigResult& c : report.configs) {
+      const t1::ReuseCounters& r = c.flow.reuse;
+      std::snprintf(line, sizeof(line),
+                    "%-16s map %u/%u cones reused, t1 %u/%u%s, stage %s\n",
+                    c.key.c_str(), r.map_cones_reused, r.map_cones_total,
+                    r.t1_cones_reused, r.t1_cones_total,
+                    r.t1_exact ? " (exact)" : "",
+                    r.stage_spliced ? "reused" : "recomputed");
+      os << line;
+    }
   }
 
   const ConfigResult* t1c = find_config(report, "t1");

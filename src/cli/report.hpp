@@ -33,6 +33,9 @@ struct Report {
   std::uint32_t num_ands = 0;
   int depth = 0;
   int phases = 4;  // the n of nphi / t1
+  /// Non-empty when the engine was primed via --incremental-from: the
+  /// priming source, and a per-config reuse section in both renderings.
+  std::string incremental_from;
   std::vector<ConfigResult> configs;
 };
 
@@ -51,10 +54,14 @@ t1::FlowParams config_params(const std::string& key, const Options& opts);
 /// Runs every configuration in `keys` on `aig` through a shared
 /// `FlowEngine` pipeline — with `--threads`, configurations run in
 /// parallel (one scratch per worker; results stay in `keys` order).
-/// Throws ContractError if any configuration's check passes fail.
+/// `prime`, when given (--incremental-from), is mapped first on each
+/// worker's scratch to warm a cone memo; the timed run then splices from
+/// it and its reuse counters land in the results.  Throws ContractError if
+/// any configuration's check passes fail.
 std::vector<ConfigResult> run_configs(const Aig& aig,
                                       const std::vector<std::string>& keys,
-                                      const Options& opts);
+                                      const Options& opts,
+                                      const Aig* prime = nullptr);
 
 /// Machine-readable report (the `--json` output).
 io::Json report_json(const Report& report);

@@ -75,6 +75,17 @@ Aig load_input(const Options& opts, Report& report) {
   return aig;
 }
 
+/// Loads the --incremental-from priming design (AIGER or BLIF,
+/// auto-detected like --input; stdin is not allowed here).
+Aig load_prime(const std::string& path) {
+  T1MAP_REQUIRE(path != "-", "--incremental-from cannot read stdin");
+  const std::string text = slurp(path);
+  if (text.rfind("aag ", 0) == 0 || text.rfind("aig ", 0) == 0) {
+    return io::read_aiger_string(text);
+  }
+  return io::read_blif_string(text);
+}
+
 void export_netlist(const Options& opts, const ConfigResult& config) {
   if (opts.out_blif.empty() && opts.out_dot.empty() &&
       opts.out_verilog.empty()) {
@@ -128,7 +139,14 @@ int run(const Options& opts) {
   report.num_ands = aig.num_ands();
   report.depth = aig.depth();
 
-  report.configs = run_configs(aig, selected_configs(opts), opts);
+  Aig prime;
+  if (!opts.incremental_from.empty()) {
+    prime = load_prime(opts.incremental_from);
+    report.incremental_from = opts.incremental_from;
+  }
+  report.configs =
+      run_configs(aig, selected_configs(opts), opts,
+                  opts.incremental_from.empty() ? nullptr : &prime);
   T1MAP_REQUIRE(!report.configs.empty(), "no configuration selected");
 
   // Export the most interesting config: t1 when run, else the last one.

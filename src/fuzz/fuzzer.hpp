@@ -43,6 +43,12 @@ struct FuzzOptions {
   RandomAigOptions aig;
   int threads = 4;        // worker count of the determinism rerun
   int phases = 4;         // the n of the nφ and T1 configurations
+  /// Mutants per (iteration, configuration) for the incremental check:
+  /// each mutant (one-gate edit of the iteration's AIG, see mutate.hpp)
+  /// is mapped twice — on an engine warmed by the unedited AIG and on a
+  /// cold engine with incremental mapping off — and the two results must
+  /// be bit-identical.  0 disables the check.
+  int mutate = 0;
   int verify_rounds = 2;  // random-sim rounds inside the flow (cheap); the
                           // fuzzer's own SAT CEC is the real oracle
   std::string repro_dir = "fuzz-repros";  // minimized .aag files land here
@@ -57,7 +63,7 @@ struct FuzzFailure {
   int iteration = 0;
   std::string config;  // "baseline_1phi", "baseline_<n>phi", "t1",
                        // or "roundtrip" for format checks
-  std::string check;   // "flow" | "cec" | "determinism" |
+  std::string check;   // "flow" | "cec" | "determinism" | "incremental" |
                        // "aiger_ascii" | "aiger_binary" | "blif"
   std::string detail;
   std::string repro_path;  // minimized .aag ("" when dumping failed)

@@ -1,0 +1,105 @@
+#include "fuzz/mutate.hpp"
+
+#include <vector>
+
+#include "common/require.hpp"
+#include "common/rng.hpp"
+
+namespace t1map::fuzz {
+
+namespace {
+
+// One recorded edit, applied during the replay rebuild below.
+struct Edit {
+  enum class Kind : std::uint8_t { kToggle, kRewire, kWrapPo };
+  Kind kind;
+  std::uint32_t node = 0;  // AND id (toggle/rewire) or PO index (wrap)
+  int pin = 0;             // fanin pin for toggle/rewire
+  Lit target = 0;          // replacement fanin (rewire) / extra input (wrap)
+};
+
+}  // namespace
+
+Aig mutate_aig(const Aig& src, const MutateOptions& options) {
+  T1MAP_REQUIRE(options.edits >= 0, "mutate_aig: negative edit count");
+  Rng rng(options.seed);
+
+  // Collect the AND ids once; edits address them uniformly.
+  std::vector<std::uint32_t> ands;
+  ands.reserve(src.num_ands());
+  for (std::uint32_t n = 0; n < src.num_nodes(); ++n) {
+    if (src.is_and(n)) ands.push_back(n);
+  }
+
+  // A random literal over nodes strictly below `bound` (PIs and ANDs only:
+  // constant fanins would just strash away).  Falls back to the constant
+  // when nothing qualifies.
+  const auto pick_below = [&](std::uint32_t bound) -> Lit {
+    std::vector<std::uint32_t> pool;
+    for (std::uint32_t n = 1; n < bound; ++n) {
+      if (src.is_pi(n) || src.is_and(n)) pool.push_back(n);
+    }
+    if (pool.empty()) return Aig::kConst0;
+    return make_lit(pool[rng.below(pool.size())], rng.flip());
+  };
+
+  std::vector<Edit> edits;
+  for (int e = 0; e < options.edits; ++e) {
+    Edit edit;
+    const std::uint64_t draw = rng.below(3);
+    if (draw < 2 && !ands.empty()) {
+      edit.node = ands[rng.below(ands.size())];
+      edit.pin = static_cast<int>(rng.below(2));
+      if (draw == 0) {
+        edit.kind = Edit::Kind::kToggle;
+      } else {
+        edit.kind = Edit::Kind::kRewire;
+        edit.target = pick_below(edit.node);
+      }
+    } else if (src.num_pos() > 0) {
+      edit.kind = Edit::Kind::kWrapPo;
+      edit.node = static_cast<std::uint32_t>(rng.below(src.num_pos()));
+      edit.target = pick_below(src.num_nodes());
+    } else {
+      continue;  // nothing to edit (constant-only AIG)
+    }
+    edits.push_back(edit);
+  }
+
+  // Replay rebuild: old node id -> literal in the mutant.  Strashing may
+  // collapse edited nodes (e.g. a rewire producing AND(x, x)); the map
+  // simply records whatever canonical literal comes back.
+  Aig out;
+  std::vector<Lit> map(src.num_nodes(), Aig::kConst0);
+  for (std::uint32_t i = 0; i < src.num_pis(); ++i) {
+    map[src.pis()[i]] = out.create_pi(src.pi_name(i));
+  }
+  const auto translate = [&](Lit l) {
+    return lit_notif(map[lit_node(l)], lit_is_complemented(l));
+  };
+  for (std::uint32_t n = 0; n < src.num_nodes(); ++n) {
+    if (!src.is_and(n)) continue;
+    Lit f[2] = {src.fanin0(n), src.fanin1(n)};
+    for (const Edit& edit : edits) {
+      if (edit.node != n) continue;
+      if (edit.kind == Edit::Kind::kToggle) {
+        f[edit.pin] = lit_not(f[edit.pin]);
+      } else if (edit.kind == Edit::Kind::kRewire) {
+        f[edit.pin] = edit.target;
+      }
+    }
+    map[n] = out.create_and(translate(f[0]), translate(f[1]));
+  }
+  for (std::uint32_t i = 0; i < src.num_pos(); ++i) {
+    Lit driver = translate(src.po(i));
+    for (const Edit& edit : edits) {
+      if (edit.kind == Edit::Kind::kWrapPo && edit.node == i) {
+        driver = out.create_and(driver, translate(edit.target));
+      }
+    }
+    out.create_po(driver, src.po_name(i));
+  }
+  return out;
+}
+
+}  // namespace t1map::fuzz

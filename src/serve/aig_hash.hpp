@@ -42,17 +42,23 @@ struct Digest {
 
 /// Reusable hasher: holds the per-node hash array so repeated hashing of
 /// similarly sized AIGs stops allocating after the first call.  Not
-/// thread-safe; use one per thread (the stateless `hash_aig` spins up a
-/// private one).
+/// thread-safe; use one per thread (the stateless `hash_aig` keeps a
+/// thread_local one).
 class AigHasher {
  public:
   Digest hash(const Aig& aig);
+
+  /// Per-node cone digests (see aig/aig_digest.hpp) — the sub-keys of
+  /// cone-level incremental mapping.  The returned reference aliases this
+  /// hasher's internal array and is invalidated by the next `hash` or
+  /// `cone_digests` call.
+  const std::vector<std::uint64_t>& cone_digests(const Aig& aig);
 
  private:
   std::vector<std::uint64_t> node_hash_;
 };
 
-/// One-shot convenience over a throwaway `AigHasher`.
+/// One-shot convenience over a thread_local `AigHasher`.
 Digest hash_aig(const Aig& aig);
 
 }  // namespace t1map::serve

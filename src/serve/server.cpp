@@ -246,6 +246,23 @@ void Server::process_batch(t1::FlowEngine& engine, std::vector<Job>& batch) {
       job.result = std::move(results[m]);
       job.cached = cached[m] != 0;
       job.dispatched = true;
+      // Cache hits decode with zeroed reuse counters; count only computed
+      // ok-runs so the reported hit rates cover actual flow executions.
+      if (!job.cached && job.result.ok()) {
+        const t1::ReuseCounters& r = job.result.reuse;
+        inc_flow_runs_.fetch_add(1, std::memory_order_relaxed);
+        inc_map_total_.fetch_add(r.map_cones_total,
+                                 std::memory_order_relaxed);
+        inc_map_reused_.fetch_add(r.map_cones_reused,
+                                  std::memory_order_relaxed);
+        inc_t1_total_.fetch_add(r.t1_cones_total, std::memory_order_relaxed);
+        inc_t1_reused_.fetch_add(r.t1_cones_reused,
+                                 std::memory_order_relaxed);
+        if (r.t1_exact) inc_t1_exact_.fetch_add(1, std::memory_order_relaxed);
+        if (r.stage_spliced) {
+          inc_stage_spliced_.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
     }
     // One dispatch-latency sample per job in the group: "what did a
     // request of this config cost end to end", cache hits included.
@@ -295,6 +312,38 @@ void Server::write_response(Connection& conn, const Job& job) {
       w.end_object();
     }
     w.end_array().end_object();
+
+    {
+      // Incremental (cone-memo) reuse over computed flow runs.
+      const std::uint64_t map_total =
+          inc_map_total_.load(std::memory_order_relaxed);
+      const std::uint64_t map_reused =
+          inc_map_reused_.load(std::memory_order_relaxed);
+      const std::uint64_t t1_total =
+          inc_t1_total_.load(std::memory_order_relaxed);
+      const std::uint64_t t1_reused =
+          inc_t1_reused_.load(std::memory_order_relaxed);
+      w.key("incremental").begin_object();
+      w.key("flow_runs").value(
+          inc_flow_runs_.load(std::memory_order_relaxed));
+      w.key("map_cones_total").value(map_total);
+      w.key("map_cones_reused").value(map_reused);
+      w.key("map_hit_rate")
+          .value(map_total > 0 ? static_cast<double>(map_reused) /
+                                     static_cast<double>(map_total)
+                               : 0.0);
+      w.key("t1_cones_total").value(t1_total);
+      w.key("t1_cones_reused").value(t1_reused);
+      w.key("t1_hit_rate")
+          .value(t1_total > 0 ? static_cast<double>(t1_reused) /
+                                    static_cast<double>(t1_total)
+                              : 0.0);
+      w.key("t1_exact_hits").value(
+          inc_t1_exact_.load(std::memory_order_relaxed));
+      w.key("stage_splice_hits").value(
+          inc_stage_spliced_.load(std::memory_order_relaxed));
+      w.end_object();
+    }
 
     {
       const std::lock_guard<std::mutex> lock(latency_mu_);
@@ -465,6 +514,13 @@ std::string Server::summary() const {
      << n.errors << " errors), cache: " << c.hits << " hits / " << c.misses
      << " misses, " << c.entries << " entries, " << c.bytes / 1024 << " KiB";
   if (c.evictions > 0) os << ", " << c.evictions << " evictions";
+  const std::uint64_t map_total =
+      inc_map_total_.load(std::memory_order_relaxed);
+  if (map_total > 0) {
+    os << ", incremental: "
+       << inc_map_reused_.load(std::memory_order_relaxed) << "/" << map_total
+       << " map cones spliced";
+  }
   return os.str();
 }
 

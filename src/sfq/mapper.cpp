@@ -7,6 +7,10 @@
 #include <span>
 #include <unordered_map>
 
+#include "aig/aig_digest.hpp"
+#include "common/hash_mix.hpp"
+#include "cut/cone_splice.hpp"
+
 namespace t1map::sfq {
 
 namespace {
@@ -120,39 +124,59 @@ Tt compress_support(const Tt& tt, std::span<const std::uint32_t> leaves,
   return reduced;
 }
 
-struct Choice {
-  std::vector<std::uint32_t> leaves;  // active leaves, in tt variable order
-  Tt tt;                              // compressed function
-  CellConfig config;
-  int arrival = 0;
-  double flow = 0.0;
-  bool valid = false;
-};
-
 }  // namespace
 
 const std::vector<CellConfig>& match_function(const Tt& tt) {
   return match_tables().lookup(tt);
 }
 
+std::uint64_t mapper_params_key(const MapperParams& params) {
+  std::uint64_t h = 0x8F5E2D1B4A6C3907ull;  // domain seed
+  h = mix64(h ^ static_cast<std::uint64_t>(params.cuts.k));
+  h = mix64(h ^ static_cast<std::uint64_t>(params.cuts.max_cuts));
+  return h;
+}
+
 Netlist map_to_sfq(const Aig& aig, const MapperParams& params,
                    MapStats* stats, CutWorkspace* workspace,
-                   const MapParallel& parallel) {
+                   const MapParallel& parallel, MapMemo* memo,
+                   MapReuse* reuse) {
   T1MAP_REQUIRE(params.cuts.k >= 2 && params.cuts.k <= 3,
                 "SFQ mapper supports cut sizes 2 and 3");
   CutWorkspace local_ws;
   CutWorkspace& ws = workspace != nullptr ? *workspace : local_ws;
-  const bool level_parallel = parallel.pool != nullptr &&
+  auto fanout = aig.fanout_counts();
+
+  // --- Cone correspondence against the memoized previous run. -------------
+  //
+  // Splicing runs serially: after a small edit the dirty region is tiny, so
+  // the parallel machinery would only add barrier costs.  Cold runs (no
+  // usable memo) keep the level-parallel path.
+  const std::uint64_t memo_key = mapper_params_key(params);
+  std::vector<std::uint64_t> digests;
+  ConeCorrespondence corr;
+  bool splice = false;
+  if (memo != nullptr) {
+    aig_digest::cone_digests(aig, digests);
+    if (memo->valid && memo->params_key == memo_key) {
+      build_cone_correspondence(aig, digests, fanout, memo->digests,
+                                memo->fanouts, corr);
+      splice = corr.num_clean > 0;
+    }
+  }
+
+  const bool level_parallel = !splice && parallel.pool != nullptr &&
                               parallel.pool->num_workers() > 1 &&
                               parallel.cuts != nullptr;
-  if (level_parallel) {
+  if (splice) {
+    enumerate_cuts_spliced(aig, params.cuts, ws, memo->cuts, corr);
+  } else if (level_parallel) {
     enumerate_cuts_parallel(aig, params.cuts, ws, parallel.pool,
                             *parallel.cuts);
   } else {
     enumerate_cuts_into(aig, params.cuts, ws);
   }
   const CutSet& cuts = ws.cuts;
-  const auto fanout = aig.fanout_counts();
 
   // --- Covering DP: best (raw arrival, flow) choice per AND node. ----------
   //
@@ -162,7 +186,7 @@ Netlist map_to_sfq(const Aig& aig, const MapperParams& params,
   // inverter stage only when p differs from the leaf's raw polarity, which
   // is how complement chains (carry logic, XNOR roots) map without inverter
   // towers.
-  std::vector<Choice> best(aig.num_nodes());
+  std::vector<MapChoice> best(aig.num_nodes());
   std::vector<int> arrival(aig.num_nodes(), 0);
   std::vector<double> flow(aig.num_nodes(), 0.0);
   // One byte per node (not vector<bool>): level-parallel workers write
@@ -181,7 +205,7 @@ Netlist map_to_sfq(const Aig& aig, const MapperParams& params,
   // concurrently.  `active` is caller-provided scratch (one per worker).
   const auto compute_node = [&](std::uint32_t n,
                                 std::vector<std::uint32_t>& active) {
-    Choice chosen;
+    MapChoice chosen;
     for (const Cut& cut : cuts[n]) {
       if (cut.is_trivial(n)) continue;
       const Tt reduced = compress_support(cut.tt, cut.leaves, active);
@@ -204,7 +228,8 @@ Netlist map_to_sfq(const Aig& aig, const MapperParams& params,
             !chosen.valid || arr < chosen.arrival ||
             (arr == chosen.arrival && fl < chosen.flow - 1e-12);
         if (better) {
-          chosen.leaves = active;
+          chosen.num_leaves = static_cast<std::uint8_t>(active.size());
+          std::copy(active.begin(), active.end(), chosen.leaves.begin());
           chosen.tt = reduced;
           chosen.config = config;
           chosen.arrival = arr;
@@ -218,8 +243,10 @@ Netlist map_to_sfq(const Aig& aig, const MapperParams& params,
     if (!chosen.valid) {
       const Lit f0 = aig.fanin0(n);
       const Lit f1 = aig.fanin1(n);
-      Choice fb;
-      fb.leaves = {lit_node(f0), lit_node(f1)};
+      MapChoice fb;
+      fb.leaves[0] = lit_node(f0);
+      fb.leaves[1] = lit_node(f1);
+      fb.num_leaves = 2;
       std::uint8_t neg = 0;
       if (lit_is_complemented(f0)) neg |= 1;
       if (lit_is_complemented(f1)) neg |= 2;
@@ -232,16 +259,44 @@ Netlist map_to_sfq(const Aig& aig, const MapperParams& params,
                                 leaf_arrival(fb.leaves[1], (neg & 2) != 0));
       fb.flow = 0.0;
       fb.valid = true;
-      chosen = std::move(fb);
+      chosen = fb;
     }
 
-    best[n] = std::move(chosen);
-    arrival[n] = best[n].arrival;
-    flow[n] = best[n].flow;
-    planned_neg[n] = best[n].config.output_neg ? 1 : 0;
+    best[n] = chosen;
+    arrival[n] = chosen.arrival;
+    flow[n] = chosen.flow;
+    planned_neg[n] = chosen.config.output_neg ? 1 : 0;
   };
 
-  if (level_parallel) {
+  if (reuse != nullptr) {
+    reuse->cones_total = aig.num_ands();
+    reuse->cones_reused = 0;
+  }
+  if (splice) {
+    // Clean nodes take the memoized DP verdict with leaf ids translated;
+    // the clean predicate (digests, fanouts, fanins transitively) makes the
+    // copied arrival/flow/polarity exactly what recomputation would yield.
+    std::vector<std::uint32_t> active;
+    for (std::uint32_t n = 0; n < aig.num_nodes(); ++n) {
+      if (!aig.is_and(n)) continue;
+      const std::uint32_t o = corr.new_to_old[n];
+      if (o == kNoCorrespondent) {
+        compute_node(n, active);
+        continue;
+      }
+      MapChoice c = memo->choices[o];
+      T1MAP_ASSERT(c.valid);
+      for (std::uint8_t i = 0; i < c.num_leaves; ++i) {
+        c.leaves[i] = corr.old_to_new[c.leaves[i]];
+        T1MAP_ASSERT(c.leaves[i] != kNoCorrespondent);
+      }
+      best[n] = c;
+      arrival[n] = c.arrival;
+      flow[n] = c.flow;
+      planned_neg[n] = c.config.output_neg ? 1 : 0;
+      if (reuse != nullptr) ++reuse->cones_reused;
+    }
+  } else if (level_parallel) {
     // Level 0 is PIs/constants (no DP state); every level >= 1 is all AND
     // nodes.  Narrow levels run inline — same rationale as cut enumeration.
     const LevelSchedule& levels = parallel.cuts->levels;
@@ -285,7 +340,7 @@ Netlist map_to_sfq(const Aig& aig, const MapperParams& params,
   while (!stack.empty()) {
     const std::uint32_t n = stack.back();
     stack.pop_back();
-    for (const std::uint32_t leaf : best[n].leaves) {
+    for (const std::uint32_t leaf : best[n].leaf_span()) {
       if (aig.is_and(leaf) && !required[leaf]) {
         required[leaf] = true;
         stack.push_back(leaf);
@@ -333,12 +388,12 @@ Netlist map_to_sfq(const Aig& aig, const MapperParams& params,
 
   for (std::uint32_t n = 0; n < aig.num_nodes(); ++n) {
     if (!aig.is_and(n) || !required[n]) continue;
-    const Choice& choice = best[n];
+    const MapChoice& choice = best[n];
     T1MAP_ASSERT(choice.valid);
 
     std::vector<std::uint32_t> ins;
-    ins.reserve(choice.leaves.size());
-    for (std::size_t i = 0; i < choice.leaves.size(); ++i) {
+    ins.reserve(choice.num_leaves);
+    for (std::size_t i = 0; i < choice.num_leaves; ++i) {
       const bool want_neg = ((choice.config.input_neg >> i) & 1u) != 0;
       ins.push_back(get_signal(choice.leaves[i], want_neg));
     }
@@ -362,6 +417,20 @@ Netlist map_to_sfq(const Aig& aig, const MapperParams& params,
       continue;
     }
     ntk.add_po(get_signal(n, lit_is_complemented(po)), aig.po_name(i));
+  }
+
+  // --- Memo refill: this run becomes the baseline for the next one. --------
+  //
+  // Everything is moved, not copied — the workspace cut arena and the DP
+  // choice vector are exactly the artifacts a future splice needs, and the
+  // caller's workspace is reset at the top of every call anyway.
+  if (memo != nullptr) {
+    memo->digests = std::move(digests);
+    memo->fanouts = std::move(fanout);
+    memo->cuts = std::move(ws.cuts);
+    memo->choices = std::move(best);
+    memo->params_key = memo_key;
+    memo->valid = true;
   }
 
   if (stats != nullptr) {

@@ -1,0 +1,21 @@
+#include "t1/cone_memo.hpp"
+
+#include "common/hash_mix.hpp"
+
+namespace t1map::t1 {
+
+std::uint64_t stage_params_key(const retime::StageParams& params) {
+  std::uint64_t h = 0x5B7D9F0213468ACEull;  // domain seed
+  h = mix64(h ^ static_cast<std::uint64_t>(params.num_phases));
+  h = mix64(h ^ (params.optimize ? 1u : 0u));
+  h = mix64(h ^ static_cast<std::uint64_t>(params.max_sweeps));
+  return h;
+}
+
+void ConeMemo::clear() {
+  map.clear();
+  detect.clear();
+  stage.clear();
+}
+
+}  // namespace t1map::t1

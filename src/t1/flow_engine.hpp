@@ -96,6 +96,20 @@ const char* cec_verdict_name(sat::CecResult::Verdict verdict);
 
 // --- Engine state ------------------------------------------------------------
 
+struct ConeMemo;  // cone_memo.hpp — the incremental-mapping retained store
+
+/// Cone/pass reuse counters of one run.  All zeros (and false flags) on a
+/// cold run or when the scratch carries no memo; the counters never affect
+/// the mapped result — splices are bit-identical by construction.
+struct ReuseCounters {
+  std::uint32_t map_cones_total = 0;   // AND cones seen by the mapper
+  std::uint32_t map_cones_reused = 0;  // … spliced from the memo
+  std::uint32_t t1_cones_total = 0;    // logic cones seen by T1 detection
+  std::uint32_t t1_cones_reused = 0;   // … whose cut sets were spliced
+  bool t1_exact = false;       // whole DetectResult reused (identity hit)
+  bool stage_spliced = false;  // whole StageAssignment reused (identity hit)
+};
+
 /// Reusable per-thread scratch: every allocation-heavy substrate the passes
 /// touch.  Reset-and-reuse semantics — holding one `FlowScratch` across
 /// thousands of runs stops paying arena growth after the first.
@@ -104,6 +118,13 @@ struct FlowScratch {
   DetectScratch t1_detect;  // T1DetectPass grouping/MFFC flat storage
   sat::Solver solver;       // SatCecPass clause arena
   sfq::SimScratch sim;      // SimEquivPass stimulus buffer
+
+  /// Incremental-mapping store (cone_memo.hpp), or null for always-cold
+  /// runs.  Unlike the fields above this is a non-owning hook: `FlowEngine`
+  /// points it at its own `ConeMemo` (see `set_incremental`), and the
+  /// per-worker scratches of `for_each_with_scratch` leave it null — the
+  /// memo is single-threaded state.
+  ConeMemo* memo = nullptr;
 
   /// Workers available for parallel sections *inside* passes (level-parallel
   /// mapping, solver-pool CEC).  1 = serial.  Results are identical at any
@@ -142,6 +163,7 @@ struct FlowContext {
   FlowStats stats;
   StageTimes times;
   Diagnostics diagnostics;
+  ReuseCounters reuse;
   FlowStatus status = FlowStatus::kOk;
   std::string cec = "skipped";  // SatCecPass verdict when the pass ran
 
@@ -367,6 +389,11 @@ struct EngineResult {
   FlowStats stats;
   StageTimes times;
   Diagnostics diagnostics;
+  /// Incremental-mapping reuse counters.  The totals are populated on
+  /// every executed run (cold runs report N total / 0 reused, so hit rates
+  /// accumulated over mixed runs stay meaningful); results decoded from a
+  /// serve cache carry all zeros — the codec does not persist them.
+  ReuseCounters reuse;
   std::string cec = "skipped";
 };
 
@@ -378,9 +405,19 @@ class FlowEngine {
   /// Engine over the default Table-I pipeline (no CEC).
   FlowEngine();
   explicit FlowEngine(Pipeline pipeline);
+  ~FlowEngine();  // out of line: ConeMemo is incomplete here
 
   const Pipeline& pipeline() const { return pipeline_; }
   void set_pipeline(Pipeline pipeline);
+
+  /// Cone-level incremental mapping across this engine's runs (default on):
+  /// consecutive `run`s splice per-cone artifacts of the previous run where
+  /// structural digests match, which makes re-running after a small edit —
+  /// or an exact re-run — cheap.  Results are always bit-identical to cold
+  /// runs; `EngineResult::reuse` reports how much was spliced.  Turning it
+  /// off drops the retained store.
+  void set_incremental(bool enabled);
+  bool incremental() const { return scratch_.memo != nullptr; }
 
   /// Total worker budget for this engine's runs.  `run` spends all of it on
   /// intra-pass parallelism; `run_many` splits it across the batch first and
@@ -423,6 +460,7 @@ class FlowEngine {
  private:
   Pipeline pipeline_;
   FlowScratch scratch_;
+  std::unique_ptr<ConeMemo> memo_;  // scratch_.memo points here when enabled
   int threads_ = 1;
 };
 

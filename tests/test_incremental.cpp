@@ -1,0 +1,285 @@
+// Cone-level incremental mapping invariants:
+//   * per-node cone digests are insensitive to node renumbering (structural
+//     isomorphism => identical digest multisets);
+//   * a single-gate edit dirties exactly the edited node's transitive
+//     fanout cone, nothing else;
+//   * a memo-warmed engine reproduces cold runs bit-for-bit across every
+//     regression generator (plus cordic28) and random one-gate mutants;
+//   * a one-gate edit on mul8 reuses > 80% of the mapper's cones;
+//   * exact re-runs splice the whole T1-detection and stage-assignment
+//     results;
+//   * splicing stays bit-identical when the engine runs a worker pool.
+//
+// This binary has a custom main: `--threads N` (the TSan CI leg passes 4)
+// sets the engine worker budget for the determinism-under-splice test.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "aig/aig_digest.hpp"
+#include "fuzz/mutate.hpp"
+#include "gen/registry.hpp"
+#include "io/blif.hpp"
+#include "t1/cone_memo.hpp"
+#include "t1/flow_engine.hpp"
+
+namespace {
+int g_threads = 1;
+}  // namespace
+
+namespace t1map {
+namespace {
+
+t1::FlowParams t1_params() {
+  t1::FlowParams params;
+  params.num_phases = 4;
+  params.use_t1 = true;
+  params.verify_rounds = 0;
+  return params;
+}
+
+/// Full-result signature: mapped netlist structure plus the stage
+/// assignment plus the DFF count — what "bit-identical" means here.
+std::string signature(const t1::EngineResult& result) {
+  std::ostringstream os;
+  io::write_blif(os, result.materialized.netlist, "sig");
+  os << "|sigma";
+  for (const int s : result.materialized.stages.sigma) os << ' ' << s;
+  os << "|po " << result.materialized.stages.sigma_po;
+  os << "|dffs " << result.stats.dffs;
+  return os.str();
+}
+
+/// Id-preserving rebuild of `src` with fanin0 of AND `target` complemented.
+/// The caller must pick a `target` whose toggle does not strash-collapse
+/// (checked via the node count).
+Aig toggle_fanin0(const Aig& src, std::uint32_t target) {
+  Aig out;
+  std::vector<Lit> map(src.num_nodes(), Aig::kConst0);
+  for (std::uint32_t i = 0; i < src.num_pis(); ++i) {
+    map[src.pis()[i]] = out.create_pi(src.pi_name(i));
+  }
+  const auto translate = [&](Lit l) {
+    return lit_notif(map[lit_node(l)], lit_is_complemented(l));
+  };
+  for (std::uint32_t n = 0; n < src.num_nodes(); ++n) {
+    if (!src.is_and(n)) continue;
+    Lit f0 = src.fanin0(n);
+    if (n == target) f0 = lit_not(f0);
+    map[n] = out.create_and(translate(f0), translate(src.fanin1(n)));
+  }
+  for (std::uint32_t i = 0; i < src.num_pos(); ++i) {
+    out.create_po(translate(src.po(i)), src.po_name(i));
+  }
+  return out;
+}
+
+/// The highest-id AND whose fanin0 toggle keeps the node count (no strash
+/// collapse) — its transitive fanout is just itself, so the edit dirties
+/// exactly one cone.
+std::uint32_t last_safe_toggle(const Aig& src, Aig* edited) {
+  for (std::uint32_t n = src.num_nodes(); n-- > 1;) {
+    if (!src.is_and(n)) continue;
+    Aig candidate = toggle_fanin0(src, n);
+    if (candidate.num_nodes() == src.num_nodes()) {
+      *edited = std::move(candidate);
+      return n;
+    }
+  }
+  ADD_FAILURE() << "no strash-safe toggle target found";
+  return 0;
+}
+
+TEST(ConeDigests, RenumberingYieldsIdenticalDigestMultiset) {
+  // Same structure, different AND creation order => different node ids.
+  Aig a;
+  {
+    const Lit pa = a.create_pi("a"), pb = a.create_pi("b");
+    const Lit pc = a.create_pi("c"), pd = a.create_pi("d");
+    const Lit x = a.create_and(pa, pb);
+    const Lit y = a.create_and(pc, pd);
+    a.create_po(a.create_or(x, y), "f");
+  }
+  Aig b;
+  {
+    const Lit pa = b.create_pi("a"), pb = b.create_pi("b");
+    const Lit pc = b.create_pi("c"), pd = b.create_pi("d");
+    const Lit y = b.create_and(pc, pd);  // swapped creation order
+    const Lit x = b.create_and(pa, pb);
+    b.create_po(b.create_or(x, y), "f");
+  }
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+
+  std::vector<std::uint64_t> da, db;
+  aig_digest::cone_digests(a, da);
+  aig_digest::cone_digests(b, db);
+  EXPECT_NE(da, db);  // ids differ, so the per-index vectors must
+  std::sort(da.begin(), da.end());
+  std::sort(db.begin(), db.end());
+  EXPECT_EQ(da, db);  // ... but the multisets are identical
+}
+
+TEST(ConeDigests, SingleEditDirtiesExactlyTheFanoutCone) {
+  const Aig src = gen::make_named("mul8");
+
+  // Toggle a mid-circuit AND (strash-safe: equal node count, same id
+  // layout) and diff the digests.
+  std::vector<std::uint32_t> ands;
+  for (std::uint32_t n = 0; n < src.num_nodes(); ++n) {
+    if (src.is_and(n)) ands.push_back(n);
+  }
+  std::uint32_t target = 0;
+  Aig edited;
+  for (std::size_t i = ands.size() / 2; i < ands.size(); ++i) {
+    Aig candidate = toggle_fanin0(src, ands[i]);
+    if (candidate.num_nodes() == src.num_nodes()) {
+      target = ands[i];
+      edited = std::move(candidate);
+      break;
+    }
+  }
+  ASSERT_NE(target, 0u) << "no strash-safe toggle target";
+
+  std::vector<std::uint64_t> before, after;
+  aig_digest::cone_digests(src, before);
+  aig_digest::cone_digests(edited, after);
+  ASSERT_EQ(before.size(), after.size());
+
+  // Transitive fanout of the edited node, over the (identical) id layout.
+  std::vector<bool> tfo(src.num_nodes(), false);
+  tfo[target] = true;
+  for (std::uint32_t n = target + 1; n < src.num_nodes(); ++n) {
+    if (!src.is_and(n)) continue;
+    tfo[n] = tfo[lit_node(src.fanin0(n))] || tfo[lit_node(src.fanin1(n))];
+  }
+
+  for (std::uint32_t n = 0; n < src.num_nodes(); ++n) {
+    if (tfo[n]) {
+      EXPECT_NE(before[n], after[n]) << "node " << n << " is in the TFO";
+    } else {
+      EXPECT_EQ(before[n], after[n]) << "node " << n << " is outside the TFO";
+    }
+  }
+}
+
+TEST(Incremental, WarmRunsAreBitIdenticalToColdAcrossGenerators) {
+  const char* const kCircuits[] = {"adder16",      "adder64", "mul8",
+                                   "square12",     "voter25", "comparator16",
+                                   "sin12",        "cordic28"};
+  const t1::FlowParams params = t1_params();
+  t1::FlowEngine warm;  // incremental is the default
+  t1::FlowEngine cold;
+  cold.set_incremental(false);
+  ASSERT_TRUE(warm.incremental());
+  ASSERT_FALSE(cold.incremental());
+
+  for (const char* const name : kCircuits) {
+    const Aig base = gen::make_named(name);
+    for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+      const Aig mutant = fuzz::mutate_aig(base, fuzz::MutateOptions{seed, 1});
+
+      (void)warm.run(base, params);  // prime the memo across the edit
+      const t1::EngineResult inc = warm.run(mutant, params);
+      const t1::EngineResult ref = cold.run(mutant, params);
+
+      ASSERT_EQ(inc.status, ref.status) << name << " seed " << seed;
+      ASSERT_TRUE(inc.has_materialized);
+      EXPECT_EQ(signature(inc), signature(ref)) << name << " seed " << seed;
+    }
+  }
+}
+
+TEST(Incremental, SingleGateEditReusesMostCones) {
+  const Aig base = gen::make_named("mul8");
+  Aig edited;
+  const std::uint32_t target = last_safe_toggle(base, &edited);
+  ASSERT_NE(target, 0u);
+
+  const t1::FlowParams params = t1_params();
+  t1::FlowEngine warm;
+  t1::FlowEngine cold;
+  cold.set_incremental(false);
+
+  (void)warm.run(base, params);
+  const t1::EngineResult inc = warm.run(edited, params);
+  const t1::EngineResult ref = cold.run(edited, params);
+  EXPECT_EQ(signature(inc), signature(ref));
+
+  // A polarity toggle changes no fanout counts, so only the edited node's
+  // own cone (its TFO is itself) goes dirty: > 80% reuse, comfortably.
+  EXPECT_EQ(inc.reuse.map_cones_total, edited.num_ands());
+  EXPECT_GT(inc.reuse.map_cones_reused * 5, inc.reuse.map_cones_total * 4)
+      << inc.reuse.map_cones_reused << " of " << inc.reuse.map_cones_total
+      << " mapper cones reused";
+  // Cold runs report the totals but splice nothing.
+  EXPECT_EQ(ref.reuse.map_cones_total, edited.num_ands());
+  EXPECT_EQ(ref.reuse.map_cones_reused, 0u);
+}
+
+TEST(Incremental, ExactRerunSplicesWholePasses) {
+  const Aig aig = gen::make_named("adder16");
+  const t1::FlowParams params = t1_params();
+  t1::FlowEngine engine;
+
+  const t1::EngineResult first = engine.run(aig, params);
+  EXPECT_EQ(first.reuse.map_cones_reused, 0u);  // nothing to splice from
+  EXPECT_FALSE(first.reuse.t1_exact);
+  EXPECT_FALSE(first.reuse.stage_spliced);
+
+  const t1::EngineResult second = engine.run(aig, params);
+  EXPECT_EQ(signature(second), signature(first));
+  EXPECT_EQ(second.reuse.map_cones_total, aig.num_ands());
+  EXPECT_EQ(second.reuse.map_cones_reused, second.reuse.map_cones_total);
+  EXPECT_TRUE(second.reuse.t1_exact);
+  EXPECT_TRUE(second.reuse.stage_spliced);
+  EXPECT_EQ(second.reuse.t1_cones_reused, second.reuse.t1_cones_total);
+}
+
+TEST(Incremental, SpliceIsDeterministicUnderWorkerPool) {
+  const Aig base = gen::make_named("mul8");
+  const Aig mutant = fuzz::mutate_aig(base, fuzz::MutateOptions{3, 1});
+  const t1::FlowParams params = t1_params();
+
+  t1::FlowEngine cold;
+  cold.set_incremental(false);
+  const t1::EngineResult ref = cold.run(mutant, params);
+
+  t1::FlowEngine warm;
+  warm.set_threads(g_threads);
+  (void)warm.run(base, params);
+  const t1::EngineResult inc = warm.run(mutant, params);
+
+  ASSERT_EQ(inc.status, ref.status);
+  EXPECT_EQ(signature(inc), signature(ref))
+      << "splice diverged at " << g_threads << " threads";
+}
+
+TEST(Incremental, DisablingDropsTheMemo) {
+  const Aig aig = gen::make_named("adder16");
+  const t1::FlowParams params = t1_params();
+  t1::FlowEngine engine;
+
+  (void)engine.run(aig, params);
+  engine.set_incremental(false);
+  EXPECT_FALSE(engine.incremental());
+  engine.set_incremental(true);  // fresh memo, not the retained one
+  const t1::EngineResult result = engine.run(aig, params);
+  EXPECT_EQ(result.reuse.map_cones_reused, 0u);
+}
+
+}  // namespace
+}  // namespace t1map
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--threads" && i + 1 < argc) {
+      g_threads = std::atoi(argv[i + 1]);
+    }
+  }
+  return RUN_ALL_TESTS();
+}
